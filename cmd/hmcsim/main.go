@@ -1,0 +1,56 @@
+// Command hmcsim regenerates the tables and figures of "Performance
+// Implications of NoCs on 3D-Stacked Memories: Insights from the Hybrid
+// Memory Cube" (ISPASS 2018) on the cycle-level simulator in this
+// repository.
+//
+// Usage:
+//
+//	hmcsim -exp table1|eq1|fig6|fig7|fig8|fig9|fig10|fig13|fig14|all [-quick] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hmcsim/internal/exp"
+)
+
+func main() {
+	which := flag.String("exp", "all", "experiment to run (table1, eq1, fig6, fig7, fig8, fig9, fig10, fig13, fig14, all)")
+	quick := flag.Bool("quick", false, "reduced sweeps and windows")
+	seed := flag.Uint64("seed", 0, "workload seed override")
+	flag.Parse()
+
+	o := exp.Options{Quick: *quick, Seed: *seed}
+	runners := map[string]func() fmt.Stringer{
+		"table1": func() fmt.Stringer { return exp.TableI() },
+		"eq1":    func() fmt.Stringer { return exp.PeakBandwidth() },
+		"fig6":   func() fmt.Stringer { return exp.Fig6(o) },
+		"fig7":   func() fmt.Stringer { return exp.Fig7(o) },
+		"fig8":   func() fmt.Stringer { return exp.Fig8(o) },
+		"fig9":   func() fmt.Stringer { return exp.Fig9(o) },
+		"fig10":  func() fmt.Stringer { return exp.Fig10(o) },
+		"fig13":  func() fmt.Stringer { return exp.Fig13(o) },
+		"fig14":  func() fmt.Stringer { return exp.Fig14(o) },
+		"ddr":    func() fmt.Stringer { return exp.DDRComparison(o) },
+	}
+	order := []string{"table1", "eq1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig13", "fig14", "ddr"}
+
+	names := []string{*which}
+	if *which == "all" {
+		names = order
+	}
+	for _, name := range names {
+		run, ok := runners[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "hmcsim: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		start := time.Now()
+		result := run()
+		fmt.Println(result)
+		fmt.Printf("[%s took %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

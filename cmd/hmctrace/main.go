@@ -1,0 +1,75 @@
+// Command hmctrace generates memory trace files for the multi-port
+// stream firmware model: random or sequential reads/writes confined to a
+// structural subset of the cube.
+//
+// Usage:
+//
+//	hmctrace -n 1000 -size 64 -vaults 4 [-banks 2] [-writes 0.25] [-seq] [-seed 7] > trace.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hmcsim/internal/addr"
+	"hmcsim/internal/host"
+	"hmcsim/internal/packet"
+	"hmcsim/internal/sim"
+	"hmcsim/internal/trace"
+)
+
+func main() {
+	n := flag.Int("n", 1000, "number of requests")
+	size := flag.Int("size", 64, "request size in bytes (16..128, flit multiple)")
+	vaults := flag.Int("vaults", 16, "confine to the first N vaults (power of two)")
+	banks := flag.Int("banks", 0, "confine to the first N banks of vault 0 (power of two; overrides -vaults)")
+	writes := flag.Float64("writes", 0, "fraction of writes (0..1)")
+	seq := flag.Bool("seq", false, "sequential instead of random addresses")
+	seed := flag.Uint64("seed", 1, "RNG seed")
+	block := flag.Int("block", 128, "address-interleave block size")
+	flag.Parse()
+
+	if !packet.ValidSize(*size) {
+		fmt.Fprintln(os.Stderr, "hmctrace: size must be a multiple of 16 in [16,128]")
+		os.Exit(2)
+	}
+	mapping, err := addr.NewMapping(*block)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hmctrace:", err)
+		os.Exit(2)
+	}
+	mask := addr.AllAccess
+	if *banks > 0 {
+		mask, err = mapping.BanksMask(*banks)
+	} else if *vaults != addr.Vaults {
+		mask, err = mapping.VaultsMask(*vaults)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hmctrace:", err)
+		os.Exit(2)
+	}
+
+	rng := sim.NewRand(*seed)
+	reqs := make([]host.Request, *n)
+	var cursor uint64
+	for i := range reqs {
+		var raw uint64
+		if *seq {
+			raw = cursor
+			cursor += uint64(*size)
+		} else {
+			raw = rng.Uint64()
+		}
+		a := mask.Apply(raw&(addr.CubeBytes-1)) &^ uint64(*size-1)
+		reqs[i] = host.Request{
+			Addr:  a,
+			Size:  *size,
+			Write: rng.Float64() < *writes,
+		}
+	}
+	if err := trace.Write(os.Stdout, reqs); err != nil {
+		fmt.Fprintln(os.Stderr, "hmctrace:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,212 @@
+// Package addr implements the HMC 1.1 internal address mapping of
+// Figure 3: low-order interleaving of sequential blocks first across
+// vaults, then across banks within a vault.
+//
+// For the default 128 B block size in a 4 GB cube the 34-bit request
+// address decomposes as (bit ranges inclusive-exclusive, LSB first):
+//
+//	[0,  4)   byte within a 16 B flit (ignored by the device)
+//	[4,  b)   block address: flit within the block, b = log2(blockSize)
+//	[b,  b+2) vault ID within a quadrant
+//	[b+2,b+4) quadrant ID
+//	[b+4,b+8) bank ID within the vault
+//	[b+8,32)  DRAM row/column remainder
+//	[32, 34)  ignored in a 4 GB cube
+package addr
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Geometry of a 4 GB HMC 1.1 (Gen2) cube.
+const (
+	Vaults          = 16
+	Quadrants       = 4
+	VaultsPerQuad   = Vaults / Quadrants
+	BanksPerVault   = 16
+	Banks           = Vaults * BanksPerVault // 256
+	VaultBytes      = 256 << 20              // 256 MB
+	BankBytes       = 16 << 20               // 16 MB
+	CubeBytes       = 4 << 30                // 4 GB
+	AddressBits     = 34                     // request header field width
+	UsedAddressBits = 32                     // 4 GB cube ignores the top two
+)
+
+// Location is a decoded physical address inside the cube.
+type Location struct {
+	Vault    int // 0..15
+	Quadrant int // 0..3
+	Bank     int // bank within the vault, 0..15
+	Row      uint64
+	Offset   uint64 // byte offset within the block
+}
+
+// Mapping decodes and encodes addresses for a given block size.
+type Mapping struct {
+	blockSize int
+	blockBits uint // log2(blockSize)
+}
+
+// NewMapping returns the mapping for a power-of-two block size between
+// 16 and 128 bytes (the sizes HMC 1.1 supports).
+func NewMapping(blockSize int) (*Mapping, error) {
+	switch blockSize {
+	case 16, 32, 64, 128:
+		return &Mapping{blockSize: blockSize, blockBits: uint(bits.TrailingZeros(uint(blockSize)))}, nil
+	}
+	return nil, fmt.Errorf("addr: unsupported block size %d (want 16, 32, 64 or 128)", blockSize)
+}
+
+// MustMapping is NewMapping for known-good sizes; it panics on error.
+func MustMapping(blockSize int) *Mapping {
+	m, err := NewMapping(blockSize)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// BlockSize returns the configured block size in bytes.
+func (m *Mapping) BlockSize() int { return m.blockSize }
+
+// Decode splits a byte address into its physical location. Address bits
+// above bit 31 are ignored, as in a 4 GB cube.
+func (m *Mapping) Decode(a uint64) Location {
+	a &= 1<<UsedAddressBits - 1
+	b := m.blockBits
+	vaultInQuad := int(a >> b & 0x3)
+	quad := int(a >> (b + 2) & 0x3)
+	bank := int(a >> (b + 4) & 0xF)
+	row := a >> (b + 8)
+	return Location{
+		Vault:    quad*VaultsPerQuad + vaultInQuad,
+		Quadrant: quad,
+		Bank:     bank,
+		Row:      row,
+		Offset:   a & (1<<b - 1),
+	}
+}
+
+// Encode is the inverse of Decode: it builds the byte address of the given
+// location.
+func (m *Mapping) Encode(loc Location) uint64 {
+	b := m.blockBits
+	quad := uint64(loc.Vault / VaultsPerQuad)
+	viq := uint64(loc.Vault % VaultsPerQuad)
+	return loc.Offset |
+		viq<<b |
+		quad<<(b+2) |
+		uint64(loc.Bank)<<(b+4) |
+		loc.Row<<(b+8)
+}
+
+// VaultOf is a shorthand for Decode(a).Vault.
+func (m *Mapping) VaultOf(a uint64) int { return m.Decode(a).Vault }
+
+// BankOf returns the global bank number (vault*16 + bank) of an address.
+func (m *Mapping) BankOf(a uint64) int {
+	l := m.Decode(a)
+	return l.Vault*BanksPerVault + l.Bank
+}
+
+// Mask is the GUPS address mask / anti-mask pair (Section III-B): after a
+// random address is generated, bits set in AntiMask are forced to one and
+// bits cleared in Mask are forced to zero. Restricting the vault and bank
+// fields this way confines traffic to any structural subset of the cube,
+// from one bank to the whole device.
+type Mask struct {
+	Mask     uint64 // AND mask: zeros force bits to zero
+	AntiMask uint64 // OR mask: ones force bits to one
+}
+
+// AllAccess is the identity mask: the full cube.
+var AllAccess = Mask{Mask: ^uint64(0), AntiMask: 0}
+
+// Apply clamps a raw generated address.
+func (k Mask) Apply(a uint64) uint64 {
+	return a&k.Mask | k.AntiMask
+}
+
+// VaultsMask returns a Mask confining accesses to the first n vaults
+// (n must be a power of two between 1 and 16). With low-order
+// interleaving this pins the vault-selection bits while leaving bank and
+// row bits random.
+func (m *Mapping) VaultsMask(n int) (Mask, error) {
+	if n <= 0 || n > Vaults || n&(n-1) != 0 {
+		return Mask{}, fmt.Errorf("addr: vault count %d not a power of two in [1,16]", n)
+	}
+	fixed := uint(bits.TrailingZeros(uint(Vaults / n))) // high vault bits to pin
+	// Vault field occupies bits [b, b+4). Pin its top `fixed` bits to zero.
+	var mask uint64 = ^uint64(0)
+	for i := uint(0); i < fixed; i++ {
+		bit := m.blockBits + 4 - 1 - i
+		mask &^= 1 << bit
+	}
+	return Mask{Mask: mask, AntiMask: 0}, nil
+}
+
+// BanksMask returns a Mask confining accesses to n banks (power of two
+// in [1,16]) of vault 0: the vault field is pinned to zero and the top
+// bank bits are pinned to zero.
+func (m *Mapping) BanksMask(n int) (Mask, error) {
+	if n <= 0 || n > BanksPerVault || n&(n-1) != 0 {
+		return Mask{}, fmt.Errorf("addr: bank count %d not a power of two in [1,16]", n)
+	}
+	var mask uint64 = ^uint64(0)
+	// Pin all four vault bits to zero.
+	for i := uint(0); i < 4; i++ {
+		mask &^= 1 << (m.blockBits + i)
+	}
+	fixed := uint(bits.TrailingZeros(uint(BanksPerVault / n)))
+	for i := uint(0); i < fixed; i++ {
+		bit := m.blockBits + 8 - 1 - i
+		mask &^= 1 << bit
+	}
+	return Mask{Mask: mask, AntiMask: 0}, nil
+}
+
+// SingleVaultMask returns a Mask confining accesses to exactly vault v
+// (all 16 banks of it).
+func (m *Mapping) SingleVaultMask(v int) (Mask, error) {
+	if v < 0 || v >= Vaults {
+		return Mask{}, fmt.Errorf("addr: vault %d out of range", v)
+	}
+	var mask uint64 = ^uint64(0)
+	var anti uint64
+	quad := uint64(v / VaultsPerQuad)
+	viq := uint64(v % VaultsPerQuad)
+	field := viq | quad<<2
+	for i := uint(0); i < 4; i++ {
+		bit := m.blockBits + i
+		if field>>i&1 == 1 {
+			anti |= 1 << bit
+		} else {
+			mask &^= 1 << bit
+		}
+	}
+	return Mask{Mask: mask, AntiMask: anti}, nil
+}
+
+// PageVaults returns the set of vaults touched by one naturally aligned
+// 4 KB OS page, demonstrating the interleaving property of Figure 3: with
+// 128 B blocks a page covers two banks in every one of the 16 vaults.
+func (m *Mapping) PageVaults(pageAddr uint64) map[int][]int {
+	out := make(map[int][]int)
+	base := pageAddr &^ uint64(4096-1)
+	for off := uint64(0); off < 4096; off += uint64(m.blockSize) {
+		l := m.Decode(base + off)
+		banks := out[l.Vault]
+		found := false
+		for _, b := range banks {
+			if b == l.Bank {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out[l.Vault] = append(banks, l.Bank)
+		}
+	}
+	return out
+}

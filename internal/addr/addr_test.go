@@ -1,0 +1,216 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometryConstants(t *testing.T) {
+	// Section II-A: 4 GB cube, 16 vaults of 256 MB, 16 MB banks,
+	// 16 banks per vault, 256 banks total.
+	if Vaults*VaultBytes != CubeBytes {
+		t.Error("vaults x vault size != cube size")
+	}
+	if BanksPerVault*BankBytes != VaultBytes {
+		t.Error("banks x bank size != vault size")
+	}
+	if Banks != 256 {
+		t.Errorf("Banks = %d, want 256", Banks)
+	}
+}
+
+func TestDecodeFieldPositions(t *testing.T) {
+	m := MustMapping(128)
+	// Bit 7 is the low vault-in-quadrant bit for 128 B blocks.
+	l := m.Decode(1 << 7)
+	if l.Vault != 1 || l.Quadrant != 0 || l.Bank != 0 {
+		t.Errorf("bit7 -> %+v, want vault 1", l)
+	}
+	// Bit 9 is the low quadrant bit: vault jumps by 4.
+	l = m.Decode(1 << 9)
+	if l.Vault != 4 || l.Quadrant != 1 {
+		t.Errorf("bit9 -> %+v, want vault 4 quadrant 1", l)
+	}
+	// Bit 11 is the low bank bit.
+	l = m.Decode(1 << 11)
+	if l.Bank != 1 || l.Vault != 0 {
+		t.Errorf("bit11 -> %+v, want bank 1", l)
+	}
+	// Bit 15 starts the row field.
+	l = m.Decode(1 << 15)
+	if l.Row != 1 || l.Bank != 0 || l.Vault != 0 {
+		t.Errorf("bit15 -> %+v, want row 1", l)
+	}
+	// Bits 32 and 33 are ignored.
+	if m.Decode(1<<32|0x80) != m.Decode(0x80) {
+		t.Error("bit 32 not ignored")
+	}
+}
+
+func TestSequentialBlocksInterleaveVaultsFirst(t *testing.T) {
+	m := MustMapping(128)
+	// Figure 3: sequential 128 B blocks map to vaults 0..15, then wrap to
+	// the next bank.
+	for i := 0; i < 16; i++ {
+		l := m.Decode(uint64(i) * 128)
+		if l.Vault != i {
+			t.Fatalf("block %d -> vault %d, want %d", i, l.Vault, i)
+		}
+		if l.Bank != 0 {
+			t.Fatalf("block %d -> bank %d, want 0", i, l.Bank)
+		}
+	}
+	l := m.Decode(16 * 128)
+	if l.Vault != 0 || l.Bank != 1 {
+		t.Fatalf("block 16 -> vault %d bank %d, want vault 0 bank 1", l.Vault, l.Bank)
+	}
+}
+
+func TestOSPageCoversAllVaultsTwoBanks(t *testing.T) {
+	// Section II-A: with 128 B blocks a 4 KB OS page maps to two banks
+	// over all 16 vaults.
+	m := MustMapping(128)
+	spread := m.PageVaults(0x12345000)
+	if len(spread) != 16 {
+		t.Fatalf("page touches %d vaults, want 16", len(spread))
+	}
+	for v, banks := range spread {
+		if len(banks) != 2 {
+			t.Errorf("vault %d holds %d banks of the page, want 2", v, len(banks))
+		}
+	}
+}
+
+func TestEncodeDecodeInverse(t *testing.T) {
+	for _, bs := range []int{16, 32, 64, 128} {
+		m := MustMapping(bs)
+		f := func(raw uint64) bool {
+			a := raw & (1<<UsedAddressBits - 1)
+			l := m.Decode(a)
+			if l.Vault < 0 || l.Vault >= Vaults || l.Bank < 0 || l.Bank >= BanksPerVault {
+				return false
+			}
+			if l.Quadrant != l.Vault/VaultsPerQuad {
+				return false
+			}
+			return m.Encode(l) == a
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("block size %d: %v", bs, err)
+		}
+	}
+}
+
+func TestDecodeIsBalanced(t *testing.T) {
+	// Every vault and bank owns the same number of addresses: walk all
+	// blocks of a 1 MB region spaced to hit distinct (vault, bank) pairs.
+	m := MustMapping(128)
+	counts := make(map[int]int)
+	for a := uint64(0); a < 1<<20; a += 128 {
+		counts[m.BankOf(a)]++
+	}
+	if len(counts) != Banks {
+		t.Fatalf("region touched %d banks, want %d", len(counts), Banks)
+	}
+	want := (1 << 20) / 128 / Banks // every global bank equally loaded
+	for bank, c := range counts {
+		if c != want {
+			t.Fatalf("bank %d got %d blocks, want %d", bank, c, want)
+		}
+	}
+}
+
+func TestNewMappingRejectsBadSizes(t *testing.T) {
+	for _, bad := range []int{0, 8, 24, 256, -128} {
+		if _, err := NewMapping(bad); err == nil {
+			t.Errorf("NewMapping(%d) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestVaultsMask(t *testing.T) {
+	m := MustMapping(128)
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		k, err := m.VaultsMask(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[int]bool)
+		for i := uint64(0); i < 1<<16; i += 97 {
+			a := k.Apply(i * 131)
+			v := m.VaultOf(a)
+			if v >= n {
+				t.Fatalf("VaultsMask(%d): address maps to vault %d", n, v)
+			}
+			seen[v] = true
+		}
+		if len(seen) != n {
+			t.Fatalf("VaultsMask(%d): only %d vaults reached", n, len(seen))
+		}
+	}
+	if _, err := m.VaultsMask(3); err == nil {
+		t.Error("VaultsMask(3) succeeded, want error")
+	}
+}
+
+func TestBanksMask(t *testing.T) {
+	m := MustMapping(128)
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		k, err := m.BanksMask(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[int]bool)
+		for i := uint64(0); i < 1<<16; i += 89 {
+			a := k.Apply(i * 127)
+			l := m.Decode(a)
+			if l.Vault != 0 {
+				t.Fatalf("BanksMask(%d): address maps to vault %d", n, l.Vault)
+			}
+			if l.Bank >= n {
+				t.Fatalf("BanksMask(%d): address maps to bank %d", n, l.Bank)
+			}
+			seen[l.Bank] = true
+		}
+		if len(seen) != n {
+			t.Fatalf("BanksMask(%d): only %d banks reached", n, len(seen))
+		}
+	}
+}
+
+func TestSingleVaultMask(t *testing.T) {
+	m := MustMapping(128)
+	for v := 0; v < Vaults; v++ {
+		k, err := m.SingleVaultMask(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		banks := make(map[int]bool)
+		for i := uint64(0); i < 1<<15; i += 61 {
+			a := k.Apply(i * 257)
+			l := m.Decode(a)
+			if l.Vault != v {
+				t.Fatalf("SingleVaultMask(%d): address maps to vault %d", v, l.Vault)
+			}
+			banks[l.Bank] = true
+		}
+		if len(banks) != BanksPerVault {
+			t.Fatalf("SingleVaultMask(%d): only %d banks reached", v, len(banks))
+		}
+	}
+	if _, err := m.SingleVaultMask(16); err == nil {
+		t.Error("SingleVaultMask(16) succeeded, want error")
+	}
+}
+
+func TestMaskComposition(t *testing.T) {
+	// AntiMask bits always win over random bits; Mask zeros always win.
+	k := Mask{Mask: ^uint64(0x0F0), AntiMask: 0xF00}
+	f := func(a uint64) bool {
+		got := k.Apply(a)
+		return got&0x0F0 == 0 && got&0xF00 == 0xF00
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,266 @@
+// Package core is the public face of the reproduction: it assembles the
+// host FPGA model and the HMC cube into a System and provides the two
+// experiment drivers the paper uses — free-running GUPS traffic and
+// finite multi-port streams — returning the same statistics the paper's
+// monitoring logic reports (access counts, min/avg/max read latency, and
+// counted request+response bandwidth).
+//
+// Typical use:
+//
+//	sys := core.NewSystem(core.DefaultConfig())
+//	res := sys.RunGUPS(core.GUPSSpec{
+//	    Ports: 9, Size: 128, Pattern: core.AllVaults(),
+//	    Warmup: 20 * sim.Microsecond, Window: 200 * sim.Microsecond,
+//	})
+//	fmt.Println(res.Bandwidth, res.AvgLat)
+package core
+
+import (
+	"fmt"
+
+	"hmcsim/internal/addr"
+	"hmcsim/internal/hmc"
+	"hmcsim/internal/host"
+	"hmcsim/internal/packet"
+	"hmcsim/internal/phys"
+	"hmcsim/internal/sim"
+)
+
+// Config assembles a full system.
+type Config struct {
+	Host      host.Config
+	HMC       hmc.Config
+	BlockSize int    // address-interleave block size (Figure 3); 128 default
+	Seed      uint64 // base RNG seed for all ports
+}
+
+// DefaultConfig returns the AC-510 + 4 GB HMC 1.1 system of the paper.
+func DefaultConfig() Config {
+	return Config{
+		Host:      host.DefaultConfig(),
+		HMC:       hmc.DefaultConfig(),
+		BlockSize: 128,
+		Seed:      1,
+	}
+}
+
+// System is an assembled simulation: engine, cube, controller and address
+// mapping. Ports are created per experiment.
+type System struct {
+	Cfg  Config
+	Eng  *sim.Engine
+	HMC  *hmc.HMC
+	Ctrl *host.Controller
+	Map  *addr.Mapping
+
+	portsMade   int
+	streamPorts []*host.StreamPort
+}
+
+// NewSystem builds a system from cfg.
+func NewSystem(cfg Config) *System {
+	eng := sim.NewEngine()
+	s := &System{Cfg: cfg, Eng: eng, Map: addr.MustMapping(cfg.BlockSize)}
+	var ctrl *host.Controller
+	s.HMC = hmc.New(eng, cfg.HMC, func(p *packet.Packet) { ctrl.OnResponse(p) })
+	ctrl = host.NewController(eng, cfg.Host, s.HMC)
+	s.Ctrl = ctrl
+	return s
+}
+
+// Pattern is a named address-restriction, wrapping the GUPS mask machinery
+// of Section III-B.
+type Pattern struct {
+	Name string
+	Mask addr.Mask
+}
+
+// AllVaults returns the unrestricted pattern: the whole cube.
+func AllVaults() Pattern { return Pattern{Name: "16 vaults", Mask: addr.AllAccess} }
+
+// Vaults returns a pattern confined to the first n vaults (n a power of
+// two up to 16).
+func (s *System) Vaults(n int) Pattern {
+	if n == addr.Vaults {
+		return AllVaults()
+	}
+	m, err := s.Map.VaultsMask(n)
+	if err != nil {
+		panic(err)
+	}
+	name := fmt.Sprintf("%d vaults", n)
+	if n == 1 {
+		name = "1 vault"
+	}
+	return Pattern{Name: name, Mask: m}
+}
+
+// Banks returns a pattern confined to n banks of vault 0.
+func (s *System) Banks(n int) Pattern {
+	m, err := s.Map.BanksMask(n)
+	if err != nil {
+		panic(err)
+	}
+	name := fmt.Sprintf("%d banks", n)
+	if n == 1 {
+		name = "1 bank"
+	}
+	return Pattern{Name: name, Mask: m}
+}
+
+// SingleVault returns the pattern for exactly vault v.
+func (s *System) SingleVault(v int) Pattern {
+	m, err := s.Map.SingleVaultMask(v)
+	if err != nil {
+		panic(err)
+	}
+	return Pattern{Name: fmt.Sprintf("vault %d", v), Mask: m}
+}
+
+// GUPSSpec configures a GUPS measurement run.
+type GUPSSpec struct {
+	Ports   int              // active ports, 1..9
+	Size    int              // request size in bytes
+	Kind    host.RequestKind // read-only by default
+	Pattern Pattern
+	Linear  bool
+	Warmup  sim.Time // traffic before counters reset
+	Window  sim.Time // measurement window after warm-up
+	Tags    int      // per-port override; 0 = config default
+}
+
+// Result aggregates what the monitoring logic reports for one run.
+type Result struct {
+	Spec         GUPSSpec
+	Reads        uint64
+	Writes       uint64
+	AvgLat       sim.Time
+	MinLat       sim.Time
+	MaxLat       sim.Time
+	CountedBytes uint64
+	Window       sim.Time
+	Bandwidth    phys.Bandwidth // counted request+response bytes per second
+
+	// HMCOutstanding is the time-averaged number of transactions inside
+	// the cube during the window, the quantity Figure 14 estimates with
+	// Little's law.
+	HMCOutstanding float64
+	// AvgHMCLat is the mean time a read spends inside the cube (link
+	// arrival to response injection); rate x AvgHMCLat is the paper's
+	// Little's-law estimate.
+	AvgHMCLat sim.Time
+}
+
+// ReadRate returns measured read transactions per second.
+func (r Result) ReadRate() float64 {
+	if r.Window <= 0 {
+		return 0
+	}
+	return float64(r.Reads) / r.Window.Seconds()
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%-9s size=%3dB ports=%d: BW=%6.2f GB/s lat(avg/min/max)=%8.0f/%6.0f/%8.0f ns",
+		r.Spec.Pattern.Name, r.Spec.Size, r.Spec.Ports,
+		r.Bandwidth.GBpsValue(),
+		r.AvgLat.Nanoseconds(), r.MinLat.Nanoseconds(), r.MaxLat.Nanoseconds())
+}
+
+// RunGUPS performs one GUPS experiment on a fresh set of ports. The
+// system must not have ports registered already; use a new System per
+// call sequence (each call uses distinct port IDs, so repeated calls on
+// one System are also fine until port IDs run out at MaxPorts).
+func (s *System) RunGUPS(spec GUPSSpec) Result {
+	if spec.Ports <= 0 || spec.Ports > MaxPorts {
+		panic(fmt.Sprintf("core: %d ports out of range", spec.Ports))
+	}
+	if spec.Window <= 0 {
+		panic("core: GUPS window must be positive")
+	}
+	var hmcLatSum sim.Time
+	var hmcLatN uint64
+	ports := make([]*host.GUPSPort, spec.Ports)
+	for i := range ports {
+		ports[i] = host.NewGUPSPort(s.Eng, s.Cfg.Host, s.Ctrl, s.Map, s.nextPortID(), host.GUPSConfig{
+			Size:   spec.Size,
+			Kind:   spec.Kind,
+			Mask:   spec.Pattern.Mask,
+			Linear: spec.Linear,
+			Seed:   s.Cfg.Seed + uint64(i)*977,
+			Tags:   spec.Tags,
+		})
+		ports[i].Mon.OnComplete = func(tr *packet.Transaction) {
+			hmcLatSum += tr.HMCLatency()
+			hmcLatN++
+		}
+		ports[i].Start()
+	}
+
+	start := s.Eng.Now()
+	s.Eng.Run(start + spec.Warmup)
+	for _, p := range ports {
+		p.Mon.Reset(s.Eng.Now())
+	}
+	hmcLatSum, hmcLatN = 0, 0
+
+	// Sample cube occupancy through the window for the Little's-law
+	// analysis.
+	occSamples := 0
+	occSum := 0.0
+	sampleEvery := spec.Window / 64
+	if sampleEvery <= 0 {
+		sampleEvery = spec.Window
+	}
+	var sample func()
+	stopAt := start + spec.Warmup + spec.Window
+	sample = func() {
+		occSum += float64(s.HMC.InFlight())
+		occSamples++
+		if s.Eng.Now()+sampleEvery <= stopAt {
+			s.Eng.Schedule(sampleEvery, sample)
+		}
+	}
+	s.Eng.Schedule(sampleEvery, sample)
+
+	s.Eng.Run(stopAt)
+	res := Result{Spec: spec, Window: spec.Window}
+	for _, p := range ports {
+		res.Reads += p.Mon.Reads
+		res.Writes += p.Mon.Writes
+		res.CountedBytes += p.Mon.CountedBytes
+		res.AvgLat += p.Mon.AggLat
+		if res.MinLat == 0 || (p.Mon.MinLat > 0 && p.Mon.MinLat < res.MinLat) {
+			res.MinLat = p.Mon.MinLat
+		}
+		if p.Mon.MaxLat > res.MaxLat {
+			res.MaxLat = p.Mon.MaxLat
+		}
+		p.Stop()
+	}
+	if res.Reads > 0 {
+		res.AvgLat /= sim.Time(res.Reads)
+	}
+	res.Bandwidth = phys.Rate(res.CountedBytes, spec.Window)
+	if occSamples > 0 {
+		res.HMCOutstanding = occSum / float64(occSamples)
+	}
+	if hmcLatN > 0 {
+		res.AvgHMCLat = hmcLatSum / sim.Time(hmcLatN)
+	}
+	return res
+}
+
+// MaxPorts is the number of port module copies on the FPGA (Section
+// III-B).
+const MaxPorts = 9
+
+var errNoPorts = fmt.Errorf("core: out of port IDs (max %d per system)", MaxPorts)
+
+func (s *System) nextPortID() int {
+	id := s.portsMade
+	if id >= MaxPorts {
+		panic(errNoPorts)
+	}
+	s.portsMade++
+	return id
+}

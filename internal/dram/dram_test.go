@@ -1,0 +1,212 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hmcsim/internal/sim"
+)
+
+func TestDefaultTimingMatchesPaper(t *testing.T) {
+	tm := DefaultTiming()
+	if err := tm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The paper: tRCD + tCL + tRP is around 41 ns for HMC.
+	sum := tm.TRCD + tm.TCL + tm.TRP
+	if sum < 40*sim.Nanosecond || sum > 43*sim.Nanosecond {
+		t.Fatalf("tRCD+tCL+tRP = %v, want ~41ns", sum)
+	}
+	// 32 B per beat at 10 GB/s => 3.2 ns.
+	if tm.TBurst != 3200*sim.Picosecond {
+		t.Fatalf("tBurst = %v, want 3.2ns", tm.TBurst)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := DefaultTiming()
+	bad.TRP = 0
+	if bad.Validate() == nil {
+		t.Error("zero tRP accepted")
+	}
+	bad = DefaultTiming()
+	bad.TRAS = bad.TRCD - 1
+	if bad.Validate() == nil {
+		t.Error("tRAS < tRCD accepted")
+	}
+}
+
+func TestBeats(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 1}, {16, 1}, {32, 1}, {33, 2}, {64, 2}, {128, 4},
+	}
+	for _, c := range cases {
+		if got := Beats(c.n); got != c.want {
+			t.Errorf("Beats(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestClosedPageSingleAccess(t *testing.T) {
+	tm := DefaultTiming()
+	b := NewBank(tm, ClosedPage)
+	dataDone, ready := b.Access(0, 5, 32)
+	wantData := tm.TRCD + tm.TCL + tm.TBurst
+	if dataDone != wantData {
+		t.Fatalf("dataDone = %v, want %v", dataDone, wantData)
+	}
+	// Auto-precharge begins at max(tRAS, tRCD+tRTP) while the burst
+	// drains; the bank recycles after tRP more.
+	wantReady := tm.TRAS + tm.TRP
+	if rtp := tm.TRCD + tm.TRTP + tm.TRP; rtp > wantReady {
+		wantReady = rtp
+	}
+	if ready != wantReady {
+		t.Fatalf("ready = %v, want %v", ready, wantReady)
+	}
+}
+
+func TestClosedPageBackToBackRate(t *testing.T) {
+	// Successive random accesses to one bank are tRC-limited; a 128 B
+	// access adds three extra beats. This is the mechanism behind the
+	// "1 bank" points of Figure 6.
+	tm := DefaultTiming()
+	b := NewBank(tm, ClosedPage)
+	var prev sim.Time
+	var gaps []sim.Time
+	now := sim.Time(0)
+	for i := 0; i < 10; i++ {
+		dataDone, ready := b.Access(now, uint64(i*7), 128)
+		if i > 0 {
+			gaps = append(gaps, dataDone-prev)
+		}
+		prev = dataDone
+		now = ready
+	}
+	// Steady-state gap = bank cycle time: with auto-precharge
+	// overlapping the burst, max(tRAS, tRCD+tRTP) + tRP for every size.
+	want := tm.TRAS + tm.TRP
+	if rtp := tm.TRCD + tm.TRTP + tm.TRP; rtp > want {
+		want = rtp
+	}
+	for i, g := range gaps {
+		if g != want {
+			t.Fatalf("gap %d = %v, want %v", i, g, want)
+		}
+	}
+}
+
+func TestClosedPageSmallAccessRate(t *testing.T) {
+	// For small accesses the cycle is dominated by tRAS + tRP when
+	// the data finishes before tRAS expires.
+	tm := DefaultTiming()
+	b := NewBank(tm, ClosedPage)
+	_, ready := b.Access(0, 1, 16)
+	want := tm.TRAS + tm.TRP
+	if rtp := tm.TRCD + tm.TRTP + tm.TRP; rtp > want {
+		want = rtp
+	}
+	if ready != want {
+		t.Fatalf("ready = %v, want %v", ready, want)
+	}
+}
+
+func TestOpenPageRowHit(t *testing.T) {
+	tm := DefaultTiming()
+	b := NewBank(tm, OpenPage)
+	d1, _ := b.Access(0, 42, 32)
+	d2, _ := b.Access(d1, 42, 32)
+	// Hit skips tRCD: second access takes tCL + burst from the bus-free
+	// point.
+	want := d1 + tm.TCL + tm.TBurst
+	if d2 != want {
+		t.Fatalf("row hit dataDone = %v, want %v", d2, want)
+	}
+	if b.RowHits() != 1 {
+		t.Fatalf("rowHits = %d, want 1", b.RowHits())
+	}
+}
+
+func TestOpenPageMissSlowerThanHit(t *testing.T) {
+	tm := DefaultTiming()
+	hit := NewBank(tm, OpenPage)
+	miss := NewBank(tm, OpenPage)
+	d1, _ := hit.Access(0, 1, 32)
+	dh, _ := hit.Access(d1, 1, 32)
+	d2, _ := miss.Access(0, 1, 32)
+	dm, _ := miss.Access(d2, 2, 32)
+	if dh-d1 >= dm-d2 {
+		t.Fatalf("row hit (%v) not faster than miss (%v)", dh-d1, dm-d2)
+	}
+	if miss.RowHits() != 0 {
+		t.Fatalf("miss bank recorded %d row hits", miss.RowHits())
+	}
+}
+
+func TestClosedPageNeverHits(t *testing.T) {
+	tm := DefaultTiming()
+	b := NewBank(tm, ClosedPage)
+	now := sim.Time(0)
+	for i := 0; i < 5; i++ {
+		_, ready := b.Access(now, 42, 32) // same row every time
+		now = ready
+	}
+	if b.RowHits() != 0 {
+		t.Fatalf("closed-page bank recorded %d row hits", b.RowHits())
+	}
+	if b.Accesses() != 5 {
+		t.Fatalf("accesses = %d, want 5", b.Accesses())
+	}
+}
+
+// TestBankMonotonicProperty: regardless of access pattern, completions and
+// ready times never move backwards and data completes after the request.
+func TestBankMonotonicProperty(t *testing.T) {
+	tm := DefaultTiming()
+	f := func(rows []uint8, openPage bool, sizes []uint8) bool {
+		policy := ClosedPage
+		if openPage {
+			policy = OpenPage
+		}
+		b := NewBank(tm, policy)
+		now := sim.Time(0)
+		var lastDone sim.Time
+		for i, r := range rows {
+			var sz uint8
+			if len(sizes) > 0 {
+				sz = sizes[i%len(sizes)]
+			}
+			size := 16 * (int(sz%8) + 1)
+			dataDone, ready := b.Access(now, uint64(r%4), size)
+			if dataDone <= now || ready < dataDone-16*tm.TBurst {
+				return false
+			}
+			if dataDone < lastDone {
+				return false // data bus went backwards
+			}
+			lastDone = dataDone
+			// Next request arrives somewhere between immediately and
+			// after the bank is ready.
+			if r%2 == 0 {
+				now = ready
+			} else {
+				now = dataDone
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBankRespectsTRC(t *testing.T) {
+	// Activate-to-activate spacing is at least tRC for closed-page
+	// back-to-back traffic.
+	tm := DefaultTiming()
+	b := NewBank(tm, ClosedPage)
+	_, r1 := b.Access(0, 0, 16)
+	if r1 < tm.TRC() {
+		t.Fatalf("second activate allowed at %v, want >= %v", r1, tm.TRC())
+	}
+}

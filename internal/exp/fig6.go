@@ -1,0 +1,75 @@
+package exp
+
+import (
+	"fmt"
+
+	"hmcsim/internal/core"
+)
+
+// Fig6Point is one (pattern, size) point of Figure 6: the latency/
+// bandwidth position of read-only GUPS traffic from all nine ports.
+type Fig6Point struct {
+	Pattern   string
+	Size      int
+	GBps      float64
+	AvgLatNs  float64
+	MinLatNs  float64
+	MaxLatNs  float64
+	ReadsPerS float64
+}
+
+// Fig6Result holds the full sweep.
+type Fig6Result struct {
+	Points []Fig6Point
+}
+
+// Fig6 sweeps every access pattern and request size with nine GUPS ports
+// issuing read-only random traffic, reproducing the latency-vs-bandwidth
+// scatter of Figure 6.
+func Fig6(o Options) Fig6Result {
+	var res Fig6Result
+	for _, size := range Sizes {
+		for _, ps := range Patterns {
+			sys := o.newSystem()
+			r := sys.RunGUPS(core.GUPSSpec{
+				Ports:   9,
+				Size:    size,
+				Pattern: ps.Build(sys),
+				Warmup:  o.warmup(),
+				Window:  o.window(),
+			})
+			res.Points = append(res.Points, Fig6Point{
+				Pattern:   ps.Name,
+				Size:      size,
+				GBps:      r.Bandwidth.GBpsValue(),
+				AvgLatNs:  r.AvgLat.Nanoseconds(),
+				MinLatNs:  r.MinLat.Nanoseconds(),
+				MaxLatNs:  r.MaxLat.Nanoseconds(),
+				ReadsPerS: r.ReadRate(),
+			})
+		}
+	}
+	return res
+}
+
+// Point returns the entry for a pattern/size pair.
+func (r Fig6Result) Point(pattern string, size int) (Fig6Point, bool) {
+	for _, p := range r.Points {
+		if p.Pattern == pattern && p.Size == size {
+			return p, true
+		}
+	}
+	return Fig6Point{}, false
+}
+
+func (r Fig6Result) String() string {
+	t := table{header: []string{"Pattern", "Size", "BW (GB/s)", "Avg lat (ns)", "Max lat (ns)"}}
+	for _, p := range r.Points {
+		t.addRow(p.Pattern,
+			fmt.Sprintf("%dB", p.Size),
+			fmt.Sprintf("%.2f", p.GBps),
+			fmt.Sprintf("%.0f", p.AvgLatNs),
+			fmt.Sprintf("%.0f", p.MaxLatNs))
+	}
+	return "Figure 6: read latency vs bi-directional bandwidth per access pattern\n" + t.String()
+}

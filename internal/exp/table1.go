@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"fmt"
+
+	"hmcsim/internal/packet"
+	"hmcsim/internal/phys"
+)
+
+// TableIResult reproduces Table I: request/response sizes in flits for
+// reads and writes at every payload size, plus the derived link
+// efficiency figures quoted in Section IV-A.
+type TableIResult struct {
+	Rows []TableIRow
+}
+
+// TableIRow is one payload size's entry.
+type TableIRow struct {
+	Size                int
+	ReadReq, ReadResp   int // flits
+	WriteReq, WriteResp int // flits
+	ReadEfficiency      float64
+}
+
+// TableI computes the table from the packet model.
+func TableI() TableIResult {
+	var res TableIResult
+	for _, size := range Sizes {
+		res.Rows = append(res.Rows, TableIRow{
+			Size:           size,
+			ReadReq:        packet.RequestFlits(false, size),
+			ReadResp:       packet.ResponseFlits(false, size),
+			WriteReq:       packet.RequestFlits(true, size),
+			WriteResp:      packet.ResponseFlits(true, size),
+			ReadEfficiency: packet.Efficiency(size),
+		})
+	}
+	return res
+}
+
+func (r TableIResult) String() string {
+	t := table{header: []string{"Size", "RD req", "RD resp", "WR req", "WR resp", "RD efficiency"}}
+	for _, row := range r.Rows {
+		t.addRow(
+			fmt.Sprintf("%dB", row.Size),
+			fmt.Sprintf("%d flit", row.ReadReq),
+			fmt.Sprintf("%d flits", row.ReadResp),
+			fmt.Sprintf("%d flits", row.WriteReq),
+			fmt.Sprintf("%d flit", row.WriteResp),
+			fmt.Sprintf("%.0f%%", row.ReadEfficiency*100),
+		)
+	}
+	return "Table I: HMC request/response read/write sizes\n" + t.String()
+}
+
+// PeakBandwidthResult reproduces Equation 1.
+type PeakBandwidthResult struct {
+	Links    int
+	Lanes    int
+	LaneGbps float64
+	Peak     phys.Bandwidth
+}
+
+// PeakBandwidth evaluates Equation 1 for the AC-510 configuration.
+func PeakBandwidth() PeakBandwidthResult {
+	return PeakBandwidthResult{
+		Links:    2,
+		Lanes:    8,
+		LaneGbps: 15,
+		Peak:     phys.PeakBidirectional(2, 8, phys.Gbps(15)),
+	}
+}
+
+func (r PeakBandwidthResult) String() string {
+	return fmt.Sprintf(
+		"Equation 1: BWpeak = %d links x %d lanes/link x %.0f Gb/s x 2 duplex = %s",
+		r.Links, r.Lanes, r.LaneGbps, r.Peak)
+}

@@ -1,0 +1,74 @@
+package hmc
+
+import (
+	"testing"
+
+	"hmcsim/internal/addr"
+	"hmcsim/internal/sim"
+)
+
+// TestNoisyLinksStillConserve injects CRC errors on every link direction
+// and checks that retry keeps the system lossless: every transaction
+// completes exactly once, just later.
+func TestNoisyLinksStillConserve(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LinkCfg.ErrorRate = 0.05
+	ha := newHarness(t, cfg)
+	m := addr.MustMapping(128)
+	rng := sim.NewRand(17)
+	const n = 1500
+	ha.eng.Schedule(0, func() {
+		for i := 0; i < n; i++ {
+			a := (rng.Uint64() % addr.CubeBytes) &^ 0x7F
+			ha.send(makeRead(uint64(i), m, a, 16*(rng.Intn(8)+1), rng.Intn(2)))
+		}
+	})
+	ha.eng.Drain()
+	if len(ha.done) != n {
+		t.Fatalf("completed %d of %d with noisy links", len(ha.done), n)
+	}
+	var retries uint64
+	for l := 0; l < cfg.Links; l++ {
+		retries += ha.h.Link(l).Req.Retries() + ha.h.Link(l).Resp.Retries()
+	}
+	if retries == 0 {
+		t.Fatal("5% error rate produced no retries")
+	}
+	seen := map[uint64]bool{}
+	for _, tr := range ha.done {
+		if seen[tr.ID] {
+			t.Fatalf("transaction %d delivered twice", tr.ID)
+		}
+		seen[tr.ID] = true
+	}
+}
+
+// TestNoisyLinksRaiseLatency confirms retry shows up as latency, not
+// loss.
+func TestNoisyLinksRaiseLatency(t *testing.T) {
+	run := func(errRate float64) sim.Time {
+		cfg := DefaultConfig()
+		cfg.LinkCfg.ErrorRate = errRate
+		ha := newHarness(t, cfg)
+		m := addr.MustMapping(128)
+		rng := sim.NewRand(5)
+		const n = 400
+		ha.eng.Schedule(0, func() {
+			for i := 0; i < n; i++ {
+				a := (rng.Uint64() % addr.CubeBytes) &^ 0x7F
+				ha.send(makeRead(uint64(i), m, a, 64, i%2))
+			}
+		})
+		ha.eng.Drain()
+		var sum sim.Time
+		for _, tr := range ha.done {
+			sum += tr.TDone - tr.TLinkTx
+		}
+		return sum / sim.Time(len(ha.done))
+	}
+	clean := run(0)
+	noisy := run(0.2)
+	if noisy <= clean {
+		t.Fatalf("20%% error rate did not raise latency: %v vs %v", noisy, clean)
+	}
+}

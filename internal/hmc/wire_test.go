@@ -1,0 +1,87 @@
+package hmc
+
+import (
+	"testing"
+
+	"hmcsim/internal/addr"
+	"hmcsim/internal/packet"
+	"hmcsim/internal/sim"
+)
+
+// TestWireFormatCarriesSimTraffic encodes every request and response the
+// simulator produces during a run through the 128-bit flit codec and
+// checks the decode recovers the same transaction fields — i.e. the
+// timing model and the wire format agree on what is representable.
+func TestWireFormatCarriesSimTraffic(t *testing.T) {
+	ha := newHarness(t, DefaultConfig())
+	m := addr.MustMapping(128)
+	rng := sim.NewRand(23)
+	const n = 300
+	ha.eng.Schedule(0, func() {
+		for i := 0; i < n; i++ {
+			a := (rng.Uint64() % addr.CubeBytes) &^ 0x7F
+			tr := makeRead(uint64(i), m, a, 16*(rng.Intn(8)+1), rng.Intn(2))
+			tr.Write = rng.Intn(3) == 0
+			ha.send(tr)
+		}
+	})
+	ha.eng.Drain()
+	if len(ha.done) != n {
+		t.Fatalf("completed %d of %d", len(ha.done), n)
+	}
+	for _, tr := range ha.done {
+		for _, pkt := range []*packet.Packet{tr.RequestPacket(tr.Tag), tr.ResponsePacket(tr.Tag)} {
+			words, err := packet.Encode(pkt, packet.Tail{RTC: 1}, nil)
+			if err != nil {
+				t.Fatalf("encode %v: %v", pkt, err)
+			}
+			got, _, _, err := packet.Decode(words)
+			if err != nil {
+				t.Fatalf("decode %v: %v", pkt, err)
+			}
+			if got.Cmd != pkt.Cmd || got.Tag != pkt.Tag || got.Size != pkt.Size {
+				t.Fatalf("wire round trip %v -> %v", pkt, got)
+			}
+			if got.Addr != pkt.Addr&(1<<34-1) {
+				t.Fatalf("address %#x -> %#x", pkt.Addr, got.Addr)
+			}
+			// The decoded address must land on the same vault and bank.
+			loc := m.Decode(got.Addr)
+			if loc.Vault != tr.Vault || loc.Bank != tr.Bank {
+				t.Fatalf("decoded address routes to %d/%d, want %d/%d",
+					loc.Vault, loc.Bank, tr.Vault, tr.Bank)
+			}
+		}
+	}
+}
+
+// TestEndToEndDeterminism re-runs an identical workload and requires
+// bit-identical completion timestamps.
+func TestEndToEndDeterminism(t *testing.T) {
+	run := func() []sim.Time {
+		ha := newHarness(t, DefaultConfig())
+		m := addr.MustMapping(128)
+		rng := sim.NewRand(77)
+		ha.eng.Schedule(0, func() {
+			for i := 0; i < 500; i++ {
+				a := (rng.Uint64() % addr.CubeBytes) &^ 0x7F
+				ha.send(makeRead(uint64(i), m, a, 64, i%2))
+			}
+		})
+		ha.eng.Drain()
+		out := make([]sim.Time, len(ha.done))
+		for i, tr := range ha.done {
+			out[i] = tr.TDone
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("run lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("completion %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

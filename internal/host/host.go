@@ -1,0 +1,290 @@
+// Package host models the FPGA side of the AC-510 evaluation system
+// (Section III of the paper): up to nine traffic-generating ports, the
+// Micron HMC controller they share, tag pools bounding outstanding
+// requests, and the monitoring logic that records read latencies.
+//
+// Two firmware personalities are provided, matching the paper's Figure 5:
+//
+//   - GUPSPort: a free-running address generator issuing random or linear
+//     requests shaped by an address mask/anti-mask (Figure 5a).
+//   - StreamPort: a trace-driven port that issues a finite burst of
+//     requests and streams response data back to the host over a
+//     dedicated per-port channel (Figure 5b).
+package host
+
+import (
+	"fmt"
+
+	"hmcsim/internal/link"
+	"hmcsim/internal/packet"
+	"hmcsim/internal/sim"
+)
+
+// Config holds the host-side calibration constants. They are the single
+// source of truth for the FPGA model and are documented in DESIGN.md.
+type Config struct {
+	// FPGAClockHz is the fabric clock; the AC-510 design runs at
+	// 187.5 MHz, which is why nine parallel ports are needed to source
+	// enough requests (Section III-B).
+	FPGAClockHz float64
+
+	// CtrlFlitSlotsPerCycle is the HMC controller's aggregate flit
+	// throughput per FPGA cycle, shared between the transmit and receive
+	// paths. Together with CtrlPacketOverheadSlots it sets the
+	// controller-bound saturation bandwidth (the ~23 GB/s ceiling of
+	// Figures 6 and 13d).
+	CtrlFlitSlotsPerCycle float64
+	// CtrlPacketOverheadSlots is the fixed per-packet processing cost in
+	// flit slots; it penalizes small packets, reproducing the paper's
+	// observation that small requests cannot reach the large-packet
+	// bandwidth even at full port count.
+	CtrlPacketOverheadSlots float64
+
+	// TxLatency and RxLatency are the fixed pipeline latencies between a
+	// port and the link SerDes in each direction. Together with link and
+	// cube latencies they make up the ~547 ns infrastructure floor the
+	// paper carries over from [18].
+	TxLatency sim.Time
+	RxLatency sim.Time
+
+	// GUPSTagsPerPort and StreamTagsPerPort bound outstanding requests
+	// per port; the read tag pool of Figure 5.
+	GUPSTagsPerPort   int
+	StreamTagsPerPort int
+
+	// StreamChanBytesPerCycle is the width of a stream port's dedicated
+	// response channel to the host (PicoStream). Reading one 16-byte
+	// word per cycle is what makes large responses pile up in Figures 7
+	// and 8.
+	StreamChanBytesPerCycle int
+}
+
+// DefaultConfig returns the AC-510 host calibration.
+func DefaultConfig() Config {
+	return Config{
+		FPGAClockHz:             187.5e6,
+		CtrlFlitSlotsPerCycle:   8,
+		CtrlPacketOverheadSlots: 0.5,
+		TxLatency:               300 * sim.Nanosecond,
+		RxLatency:               300 * sim.Nanosecond,
+		GUPSTagsPerPort:         80,
+		StreamTagsPerPort:       96,
+		StreamChanBytesPerCycle: 16,
+	}
+}
+
+// Clock returns the FPGA clock domain.
+func (c Config) Clock() sim.Clock { return sim.NewClockHz(c.FPGAClockHz) }
+
+// Device is the slice of the HMC the controller drives: request links in,
+// response buffer releases out.
+type Device interface {
+	ReqDir(l int) *link.Dir
+	ReleaseResp(l, flits int)
+	Links() int
+}
+
+// completer receives finished transactions back at their issuing port.
+type completer interface {
+	complete(tr *packet.Transaction)
+}
+
+// Controller models the Micron HMC controller on the FPGA: a shared
+// packet-processing engine in front of the link SerDes. Its throughput is
+// a budget of flit slots per cycle plus a per-packet overhead, consumed by
+// both directions.
+type Controller struct {
+	eng   *sim.Engine
+	cfg   Config
+	dev   Device
+	ports map[int]completer
+
+	engine   *sim.Server
+	slotTime sim.Time
+	rr       int
+
+	reqsSent  uint64
+	respsRecv uint64
+}
+
+// NewController builds the controller for the given device.
+func NewController(eng *sim.Engine, cfg Config, dev Device) *Controller {
+	if cfg.CtrlFlitSlotsPerCycle <= 0 {
+		panic("host: CtrlFlitSlotsPerCycle must be positive")
+	}
+	period := cfg.Clock().Period
+	return &Controller{
+		eng:      eng,
+		cfg:      cfg,
+		dev:      dev,
+		ports:    make(map[int]completer),
+		engine:   sim.NewServer(eng),
+		slotTime: sim.Time(float64(period)/cfg.CtrlFlitSlotsPerCycle + 0.5),
+	}
+}
+
+// service returns the controller processing time for one packet.
+func (c *Controller) service(p *packet.Packet) sim.Time {
+	slots := float64(p.Flits()) + c.cfg.CtrlPacketOverheadSlots
+	return sim.Time(slots*float64(c.slotTime) + 0.5)
+}
+
+// register attaches a port for completion callbacks.
+func (c *Controller) register(id int, p completer) {
+	if _, dup := c.ports[id]; dup {
+		panic(fmt.Sprintf("host: duplicate port id %d", id))
+	}
+	c.ports[id] = p
+}
+
+// Submit accepts a transaction from a port, processes the request packet,
+// and pushes it onto a link. Ports bound their own submissions with tag
+// pools, so Submit never rejects.
+func (c *Controller) Submit(tr *packet.Transaction) {
+	tr.TPortOut = c.eng.Now()
+	pkt := tr.RequestPacket(tr.Tag)
+	c.engine.Reserve(c.service(pkt), func() {
+		c.eng.Schedule(c.cfg.TxLatency, func() { c.sendReq(pkt) })
+	})
+}
+
+// sendReq pushes the packet onto a link, round-robining across links and
+// waiting for link tokens when the cube exerts back-pressure.
+func (c *Controller) sendReq(pkt *packet.Packet) {
+	links := c.dev.Links()
+	first := c.rr
+	c.rr = (c.rr + 1) % links
+	for i := 0; i < links; i++ {
+		l := (first + i) % links
+		pkt.Link = l
+		pkt.Tr.Link = l
+		if c.dev.ReqDir(l).TrySend(pkt) {
+			c.reqsSent++
+			return
+		}
+	}
+	c.dev.ReqDir(first).NotifyTokens(func() { c.sendReq(pkt) })
+}
+
+// OnResponse is wired as the cube's response delivery callback.
+func (c *Controller) OnResponse(pkt *packet.Packet) {
+	tr := pkt.Tr
+	tr.TLinkRx = c.eng.Now()
+	c.respsRecv++
+	c.engine.Reserve(c.service(pkt), func() {
+		// Only now does the packet leave the link receive buffer.
+		c.dev.ReleaseResp(pkt.Link, pkt.Flits())
+		c.eng.Schedule(c.cfg.RxLatency, func() {
+			port, ok := c.ports[tr.Port]
+			if !ok {
+				panic(fmt.Sprintf("host: response for unknown port %d", tr.Port))
+			}
+			port.complete(tr)
+		})
+	})
+}
+
+// RequestsSent returns the number of request packets pushed to links.
+func (c *Controller) RequestsSent() uint64 { return c.reqsSent }
+
+// ResponsesReceived returns the number of responses taken off the links.
+func (c *Controller) ResponsesReceived() uint64 { return c.respsRecv }
+
+// Utilization reports the packet engine's busy fraction.
+func (c *Controller) Utilization(now sim.Time) float64 { return c.engine.Utilization(now) }
+
+// tagPool is the port-level pool of transaction tags (Rd.Tag Pool in
+// Figure 5). Tags are small integers unique per port so the wire format's
+// 11-bit field can address them.
+type tagPool struct {
+	free    []uint16
+	waiters []func()
+	size    int
+}
+
+func newTagPool(port, n int) *tagPool {
+	p := &tagPool{size: n}
+	for i := n - 1; i >= 0; i-- {
+		p.free = append(p.free, uint16((port*n+i)%2048))
+	}
+	return p
+}
+
+func (p *tagPool) take() (uint16, bool) {
+	if len(p.free) == 0 {
+		return 0, false
+	}
+	t := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return t, true
+}
+
+func (p *tagPool) put(t uint16) {
+	p.free = append(p.free, t)
+	w := p.waiters
+	p.waiters = nil
+	for _, fn := range w {
+		fn()
+	}
+}
+
+func (p *tagPool) notify(fn func()) { p.waiters = append(p.waiters, fn) }
+
+func (p *tagPool) outstanding() int { return p.size - len(p.free) }
+
+// Monitor is the per-port monitoring logic (Section III-B): total reads
+// and writes, aggregate/minimum/maximum read latency. It sits outside the
+// critical path; recording costs no simulated time.
+type Monitor struct {
+	Reads, Writes uint64
+	AggLat        sim.Time
+	MinLat        sim.Time
+	MaxLat        sim.Time
+	CountedBytes  uint64
+
+	windowStart sim.Time
+
+	// OnComplete, when non-nil, observes every completed transaction;
+	// experiments hook histograms here.
+	OnComplete func(tr *packet.Transaction)
+}
+
+// Reset clears the window counters; experiments call it after warm-up.
+func (m *Monitor) Reset(now sim.Time) {
+	m.Reads, m.Writes = 0, 0
+	m.AggLat, m.MinLat, m.MaxLat = 0, 0, 0
+	m.CountedBytes = 0
+	m.windowStart = now
+}
+
+// WindowStart returns the time of the last Reset.
+func (m *Monitor) WindowStart() sim.Time { return m.windowStart }
+
+func (m *Monitor) record(tr *packet.Transaction) {
+	lat := tr.Latency()
+	if tr.Write {
+		m.Writes++
+	} else {
+		// As in the firmware, latency statistics cover reads.
+		m.Reads++
+		m.AggLat += lat
+		if m.MinLat == 0 || lat < m.MinLat {
+			m.MinLat = lat
+		}
+		if lat > m.MaxLat {
+			m.MaxLat = lat
+		}
+	}
+	m.CountedBytes += uint64(tr.RoundTripBytes())
+	if m.OnComplete != nil {
+		m.OnComplete(tr)
+	}
+}
+
+// AvgLat returns the mean read latency since the last reset.
+func (m *Monitor) AvgLat() sim.Time {
+	if m.Reads == 0 {
+		return 0
+	}
+	return m.AggLat / sim.Time(m.Reads)
+}

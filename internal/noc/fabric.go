@@ -1,0 +1,166 @@
+package noc
+
+import (
+	"fmt"
+
+	"hmcsim/internal/sim"
+)
+
+// FuncOutlet adapts a pair of closures to the Outlet interface; the glue
+// layer uses it to splice vault controllers and link egress ports into the
+// fabric.
+type FuncOutlet struct {
+	Try    func(m *Message) bool
+	Notify func(m *Message, fn func())
+}
+
+// TryOut implements Outlet.
+func (f FuncOutlet) TryOut(m *Message) bool { return f.Try(m) }
+
+// NotifyOut implements Outlet.
+func (f FuncOutlet) NotifyOut(m *Message, fn func()) { f.Notify(m, fn) }
+
+// Fabric is the assembled logic-layer network: a request network carrying
+// host-to-vault traffic and a response network carrying vault-to-host
+// traffic, each built from one router per quadrant plus a small ingress
+// node per external link.
+type Fabric struct {
+	cfg           Config
+	nQuads        int
+	vaultsPerQuad int
+	linkHome      []int
+
+	// ReqIngress[l] is the entry node for requests arriving on link l.
+	ReqIngress []*Router
+	// ReqRouters[q] is the request-network router of quadrant q.
+	ReqRouters []*Router
+	// RespRouters[q] is the response-network router of quadrant q.
+	// Vault adapters inject responses here via TryOut.
+	RespRouters []*Router
+}
+
+// NewFabric builds the two networks.
+//
+//   - linkHome[l] gives the quadrant where external link l attaches.
+//   - vaultOutlets[v] consumes requests for vault v (length nQuads *
+//     vaultsPerQuad).
+//   - linkEgress[l] consumes responses leaving on link l.
+func NewFabric(eng *sim.Engine, cfg Config, nQuads, vaultsPerQuad int,
+	linkHome []int, vaultOutlets []Outlet, linkEgress []Outlet) *Fabric {
+
+	nVaults := nQuads * vaultsPerQuad
+	if len(vaultOutlets) != nVaults {
+		panic(fmt.Sprintf("noc: %d vault outlets for %d vaults", len(vaultOutlets), nVaults))
+	}
+	if len(linkEgress) != len(linkHome) {
+		panic(fmt.Sprintf("noc: %d egress outlets for %d links", len(linkEgress), len(linkHome)))
+	}
+	for _, h := range linkHome {
+		if h < 0 || h >= nQuads {
+			panic(fmt.Sprintf("noc: link home quadrant %d out of range", h))
+		}
+	}
+	nLinks := len(linkHome)
+	f := &Fabric{
+		cfg:           cfg,
+		nQuads:        nQuads,
+		vaultsPerQuad: vaultsPerQuad,
+		linkHome:      append([]int(nil), linkHome...),
+		ReqIngress:    make([]*Router, nLinks),
+		ReqRouters:    make([]*Router, nQuads),
+		RespRouters:   make([]*Router, nQuads),
+	}
+
+	// Request network. Router q's outlets: [0, vaultsPerQuad) local
+	// vaults, then one slot per quadrant for the full-mesh peer channels
+	// (the self slot stays nil and is never routed to).
+	for q := 0; q < nQuads; q++ {
+		q := q
+		outlets := make([]Outlet, vaultsPerQuad+nQuads)
+		for i := 0; i < vaultsPerQuad; i++ {
+			outlets[i] = vaultOutlets[q*vaultsPerQuad+i]
+		}
+		f.ReqRouters[q] = NewRouter(eng, fmt.Sprintf("req.q%d", q), cfg,
+			func(m *Message) int {
+				if m.Tr.Quadrant == q {
+					return m.Tr.Vault % vaultsPerQuad
+				}
+				return vaultsPerQuad + m.Tr.Quadrant
+			}, outlets)
+	}
+	for q := 0; q < nQuads; q++ {
+		for p := 0; p < nQuads; p++ {
+			if p != q {
+				f.ReqRouters[q].SetOutlet(vaultsPerQuad+p, f.ReqRouters[p])
+			}
+		}
+	}
+
+	// Link ingress nodes: a single-output staging node per link whose
+	// occupancy is bounded by the link-level token pool, not by router
+	// credits (callers use Inject and wire OnForward to return tokens).
+	ingressCfg := cfg
+	ingressCfg.InputBuffer = 0 // bounded by the link-level token pool
+	for l := 0; l < nLinks; l++ {
+		f.ReqIngress[l] = NewRouter(eng, fmt.Sprintf("req.in%d", l), ingressCfg,
+			func(*Message) int { return 0 },
+			[]Outlet{f.ReqRouters[linkHome[l]]})
+	}
+
+	// Response network. Router q's outlets: [0, nLinks) egress ports
+	// (only meaningful for links homed at q), then one slot per quadrant
+	// for peers.
+	for q := 0; q < nQuads; q++ {
+		q := q
+		outlets := make([]Outlet, nLinks+nQuads)
+		for l := 0; l < nLinks; l++ {
+			if linkHome[l] == q {
+				outlets[l] = linkEgress[l]
+			}
+		}
+		f.RespRouters[q] = NewRouter(eng, fmt.Sprintf("resp.q%d", q), cfg,
+			func(m *Message) int {
+				home := f.linkHome[m.Tr.Link]
+				if home == q {
+					return m.Tr.Link
+				}
+				return nLinks + home
+			}, outlets)
+	}
+	for q := 0; q < nQuads; q++ {
+		for p := 0; p < nQuads; p++ {
+			if p != q {
+				f.RespRouters[q].SetOutlet(nLinks+p, f.RespRouters[p])
+			}
+		}
+	}
+	return f
+}
+
+// InjectRequest places a request arriving on link l into the fabric. The
+// caller is responsible for bounding in-flight requests (the link RX
+// token pool does this) and should set ReqIngress[l].OnForward to return
+// those tokens.
+func (f *Fabric) InjectRequest(l int, m *Message) {
+	f.ReqIngress[l].Inject(m)
+}
+
+// RespIngress returns the Outlet a vault in quadrant q uses to inject
+// responses; injection is credit-checked against the router's input pool.
+func (f *Fabric) RespIngress(q int) Outlet { return f.RespRouters[q] }
+
+// QueuedMessages returns the total occupancy of every router, a debugging
+// aid for conservation checks.
+func (f *Fabric) QueuedMessages() int {
+	n := 0
+	for _, r := range f.ReqIngress {
+		n += r.Queued()
+	}
+	for _, r := range f.ReqRouters {
+		n += r.Queued()
+	}
+	for _, r := range f.RespRouters {
+		n += r.Queued()
+	}
+	return n
+}

@@ -1,0 +1,235 @@
+// Package noc models the HMC logic-layer network-on-chip that connects
+// external link ports to the sixteen vault controllers (Figure 1 of the
+// paper). The study's central claim is that the characteristics and
+// contention of this network — arbitration, buffering, and packetization —
+// shape the latency and bandwidth behavior of the whole device.
+//
+// Topology: one router per quadrant, fully connected to the other three
+// quadrant routers; each external link enters the fabric at its home
+// quadrant; each router fans out to its four local vaults. Requests and
+// responses travel on separate networks (standard deadlock avoidance for
+// request/response protocols).
+//
+// Routers are virtual-output-queued with per-output credits: an incoming
+// message is routed once and admitted against the buffer of its output
+// queue, so a congested vault back-pressures precisely the traffic heading
+// to it while other traffic flows by. Because routing is minimal (at most
+// ingress -> home quadrant -> destination quadrant -> vault) and credits
+// are per output class, the credit graph is acyclic and the fabric is
+// deadlock-free. Contention for the same output serializes on the output
+// channel, which is where the paper's observed latency variance within an
+// access pattern originates.
+package noc
+
+import (
+	"fmt"
+
+	"hmcsim/internal/packet"
+	"hmcsim/internal/sim"
+)
+
+// Message is the unit moved by the fabric: one transaction plus the wire
+// packet it currently rides in (request or response), which determines
+// serialization time.
+type Message struct {
+	Tr  *packet.Transaction
+	Pkt *packet.Packet
+}
+
+// Flits returns the message's current wire length.
+func (m *Message) Flits() int { return m.Pkt.Flits() }
+
+// Outlet is anything a router output can feed: another router's input,
+// a vault adapter, or a link-egress adapter. TryOut must not block; a
+// false return means "register fn with NotifyOut(m, fn) and try again
+// when it fires". NotifyOut takes the message so credit-managed outlets
+// can wake the caller on the specific resource the message needs.
+type Outlet interface {
+	TryOut(m *Message) bool
+	NotifyOut(m *Message, fn func())
+}
+
+// Config holds the fabric timing parameters.
+type Config struct {
+	// FlitTime is the serialization time of one flit on an internal
+	// channel. The default models a 32-byte datapath at 1.25 GHz:
+	// two flits per 800 ps cycle.
+	FlitTime sim.Time
+	// HopLatency is the router pipeline + wire delay per hop.
+	HopLatency sim.Time
+	// InputBuffer is the per-output credit pool, in messages. Zero
+	// disables admission control (used by externally flow-controlled
+	// ingress nodes).
+	InputBuffer int
+}
+
+// DefaultConfig returns the fabric parameters used by the reproduction.
+func DefaultConfig() Config {
+	return Config{
+		FlitTime:    400 * sim.Picosecond,
+		HopLatency:  1600 * sim.Picosecond, // 2 cycles at 1.25 GHz
+		InputBuffer: 8,
+	}
+}
+
+// Router is one fabric node with virtual output queues.
+type Router struct {
+	name string
+	eng  *sim.Engine
+	cfg  Config
+
+	route   func(*Message) int
+	outlets []outState
+
+	// OnForward, when non-nil, runs every time a message leaves the
+	// router. Link-ingress nodes use it to return link-level tokens.
+	OnForward func(*Message)
+
+	received  uint64
+	forwarded uint64
+}
+
+type outState struct {
+	outlet  Outlet
+	credits *sim.TokenPool // nil when InputBuffer == 0
+	server  *sim.Server
+	queue   *sim.Queue[*Message]
+	pumping bool
+}
+
+// NewRouter builds a router. route maps a message to an outlet index in
+// outlets; it must be total for all traffic the router can receive.
+func NewRouter(eng *sim.Engine, name string, cfg Config, route func(*Message) int, outlets []Outlet) *Router {
+	if cfg.InputBuffer < 0 {
+		panic(fmt.Sprintf("noc %s: negative InputBuffer", name))
+	}
+	r := &Router{
+		name:    name,
+		eng:     eng,
+		cfg:     cfg,
+		route:   route,
+		outlets: make([]outState, len(outlets)),
+	}
+	for i, o := range outlets {
+		var credits *sim.TokenPool
+		if cfg.InputBuffer > 0 {
+			credits = sim.NewTokenPool(cfg.InputBuffer)
+		}
+		r.outlets[i] = outState{
+			outlet:  o,
+			credits: credits,
+			server:  sim.NewServer(eng),
+			queue:   sim.NewQueue[*Message](0), // bounded by the credit pool
+		}
+	}
+	return r
+}
+
+// Name returns the router's diagnostic name.
+func (r *Router) Name() string { return r.name }
+
+// TryOut implements Outlet: upstream senders inject into this router,
+// admitted against the credit pool of the output the message routes to.
+func (r *Router) TryOut(m *Message) bool {
+	o := &r.outlets[r.routeIndex(m)]
+	if o.credits != nil && !o.credits.TryAcquire(1) {
+		return false
+	}
+	r.accept(m)
+	return true
+}
+
+// NotifyOut implements Outlet: fn fires when the output queue m routes to
+// frees a slot.
+func (r *Router) NotifyOut(m *Message, fn func()) {
+	o := &r.outlets[r.routeIndex(m)]
+	if o.credits == nil {
+		fn()
+		return
+	}
+	o.credits.Notify(fn)
+}
+
+// Inject places a message into the router without consuming a credit; the
+// caller owns the admission control (used for link ingress, where the
+// link-level token pool is the real buffer bound).
+func (r *Router) Inject(m *Message) { r.accept(m) }
+
+func (r *Router) routeIndex(m *Message) int {
+	i := r.route(m)
+	if i < 0 || i >= len(r.outlets) {
+		panic(fmt.Sprintf("noc %s: route returned %d for %v", r.name, i, m.Pkt))
+	}
+	return i
+}
+
+func (r *Router) accept(m *Message) {
+	r.received++
+	i := r.routeIndex(m)
+	r.outlets[i].queue.Push(r.eng.Now(), m)
+	r.pump(i)
+}
+
+// pump drains output i: serialize the head message on the output channel,
+// then deliver it downstream after the hop latency. If the downstream is
+// full the message holds the output — head-of-line blocking at a congested
+// vault or link, exactly the contention mechanism under study.
+func (r *Router) pump(i int) {
+	o := &r.outlets[i]
+	if o.pumping {
+		return
+	}
+	m, ok := o.queue.Peek()
+	if !ok {
+		return
+	}
+	o.pumping = true
+	o.queue.Pop(r.eng.Now())
+	o.server.Reserve(r.cfg.FlitTime*sim.Time(m.Flits()), func() {
+		r.eng.Schedule(r.cfg.HopLatency, func() { r.deliver(i, m) })
+	})
+}
+
+func (r *Router) deliver(i int, m *Message) {
+	o := &r.outlets[i]
+	if !o.outlet.TryOut(m) {
+		o.outlet.NotifyOut(m, func() { r.deliver(i, m) })
+		return
+	}
+	// The credit is held until the message has fully left the router,
+	// keeping each pool a true bound on per-output occupancy.
+	if o.credits != nil {
+		o.credits.Release(1)
+	}
+	r.forwarded++
+	if r.OnForward != nil {
+		r.OnForward(m)
+	}
+	o.pumping = false
+	r.pump(i)
+}
+
+// SetOutlet wires output slot i after construction; the fabric builder
+// needs this because quadrant routers reference each other cyclically.
+func (r *Router) SetOutlet(i int, o Outlet) {
+	r.outlets[i].outlet = o
+}
+
+// Received returns the number of messages injected into the router.
+func (r *Router) Received() uint64 { return r.received }
+
+// Forwarded returns the number of messages sent downstream.
+func (r *Router) Forwarded() uint64 { return r.forwarded }
+
+// Queued returns the total messages parked in the router, including any
+// held on a blocked output.
+func (r *Router) Queued() int {
+	n := 0
+	for i := range r.outlets {
+		n += r.outlets[i].queue.Len()
+		if r.outlets[i].pumping {
+			n++ // popped but not yet delivered
+		}
+	}
+	return n
+}

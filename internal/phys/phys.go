@@ -1,0 +1,71 @@
+// Package phys holds physical units and conversion helpers shared by the
+// simulator: byte quantities, bandwidths, and rate/time arithmetic.
+package phys
+
+import (
+	"fmt"
+
+	"hmcsim/internal/sim"
+)
+
+// Byte quantities.
+const (
+	KB = 1 << 10
+	MB = 1 << 20
+	GB = 1 << 30
+)
+
+// Bandwidth is a data rate in bytes per second. The paper quotes link and
+// vault bandwidths in decimal GB/s, so GBps uses 1e9.
+type Bandwidth float64
+
+// GBps constructs a Bandwidth from decimal gigabytes per second.
+func GBps(v float64) Bandwidth { return Bandwidth(v * 1e9) }
+
+// GBpsValue reports the bandwidth in decimal GB/s.
+func (b Bandwidth) GBpsValue() float64 { return float64(b) / 1e9 }
+
+func (b Bandwidth) String() string { return fmt.Sprintf("%.2fGB/s", b.GBpsValue()) }
+
+// TimeFor returns the time needed to move n bytes at bandwidth b,
+// rounded up to the next picosecond.
+func (b Bandwidth) TimeFor(n int) sim.Time {
+	if b <= 0 || n <= 0 {
+		return 0
+	}
+	ps := float64(n) / float64(b) * 1e12
+	t := sim.Time(ps)
+	if float64(t) < ps {
+		t++
+	}
+	return t
+}
+
+// Rate converts a byte count moved over an elapsed simulated duration into
+// a Bandwidth.
+func Rate(bytes uint64, elapsed sim.Time) Bandwidth {
+	if elapsed <= 0 {
+		return 0
+	}
+	return Bandwidth(float64(bytes) / elapsed.Seconds())
+}
+
+// LaneRate is a serial lane speed in bits per second.
+type LaneRate float64
+
+// Gbps constructs a LaneRate from gigabits per second.
+func Gbps(v float64) LaneRate { return LaneRate(v * 1e9) }
+
+// LinkBandwidth returns the per-direction bandwidth of a link with the
+// given lane count, e.g. 8 lanes x 15 Gbps = 15 GB/s.
+func LinkBandwidth(lanes int, rate LaneRate) Bandwidth {
+	return Bandwidth(float64(lanes) * float64(rate) / 8)
+}
+
+// PeakBidirectional implements Equation 1 of the paper: the peak
+// bi-directional bandwidth of nLinks full-duplex links.
+//
+//	BWpeak = nLinks x lanes/link x laneRate x 2 (duplex)
+func PeakBidirectional(nLinks, lanes int, rate LaneRate) Bandwidth {
+	return Bandwidth(float64(nLinks) * float64(lanes) * float64(rate) / 8 * 2)
+}

@@ -1,0 +1,81 @@
+package phys
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hmcsim/internal/sim"
+)
+
+func TestGBpsRoundTrip(t *testing.T) {
+	if got := GBps(15).GBpsValue(); got != 15 {
+		t.Fatalf("GBps(15) = %v", got)
+	}
+	if s := GBps(10).String(); s != "10.00GB/s" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestTimeFor(t *testing.T) {
+	// 16 bytes at 15 GB/s is ~1066.7 ps, rounded up.
+	got := GBps(15).TimeFor(16)
+	if got != 1067 {
+		t.Fatalf("TimeFor(16B @15GB/s) = %dps, want 1067", got)
+	}
+	if GBps(15).TimeFor(0) != 0 {
+		t.Fatal("TimeFor(0) != 0")
+	}
+	if Bandwidth(0).TimeFor(64) != 0 {
+		t.Fatal("zero bandwidth should yield zero time")
+	}
+}
+
+func TestTimeForRoundsUp(t *testing.T) {
+	f := func(nRaw uint16) bool {
+		n := int(nRaw%4096) + 1
+		b := GBps(10)
+		d := b.TimeFor(n)
+		// d must be enough time: bytes moved in d at b >= n.
+		moved := float64(b) * d.Seconds()
+		return moved >= float64(n)-1e-6 && d > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRate(t *testing.T) {
+	// 1000 bytes in 100 ns = 10 GB/s.
+	got := Rate(1000, 100*sim.Nanosecond)
+	if g := got.GBpsValue(); g < 9.99 || g > 10.01 {
+		t.Fatalf("Rate = %v, want 10 GB/s", g)
+	}
+	if Rate(100, 0) != 0 {
+		t.Fatal("zero-window rate should be 0")
+	}
+}
+
+func TestLinkBandwidth(t *testing.T) {
+	// 8 lanes x 15 Gbps = 15 GB/s; 16 lanes = 30 GB/s.
+	if got := LinkBandwidth(8, Gbps(15)).GBpsValue(); got != 15 {
+		t.Fatalf("half width = %v", got)
+	}
+	if got := LinkBandwidth(16, Gbps(15)).GBpsValue(); got != 30 {
+		t.Fatalf("full width = %v", got)
+	}
+}
+
+func TestPeakBidirectionalSweep(t *testing.T) {
+	// The paper's Table of link speeds: 10, 12.5, 15 Gbps.
+	cases := []struct {
+		gbps float64
+		want float64
+	}{
+		{10, 40}, {12.5, 50}, {15, 60},
+	}
+	for _, c := range cases {
+		if got := PeakBidirectional(2, 8, Gbps(c.gbps)).GBpsValue(); got != c.want {
+			t.Errorf("2x8@%vGbps = %v GB/s, want %v", c.gbps, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// Time is measured in integer picoseconds (type Time). Events scheduled for
+// the same instant fire in the order they were scheduled, which makes every
+// simulation in this repository bit-for-bit reproducible for a given seed.
+//
+// The kernel is deliberately minimal: an Engine owns a priority queue of
+// events, and components interact by scheduling closures. Higher-level
+// building blocks (bounded queues, busy servers, token pools) live in the
+// other files of this package.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulation timestamp or duration in picoseconds.
+type Time int64
+
+// Common durations.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * 1000
+	Millisecond Time = 1000 * 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000 * 1000
+)
+
+// Nanoseconds reports t as a floating-point number of nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Microseconds reports t as a floating-point number of microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+func (t Time) String() string {
+	switch {
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", t.Microseconds())
+	case t >= Nanosecond:
+		return fmt.Sprintf("%.3fns", t.Nanoseconds())
+	default:
+		return fmt.Sprintf("%dps", int64(t))
+	}
+}
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // insertion order, breaks ties deterministically
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation kernel.
+// The zero value is ready to use.
+type Engine struct {
+	pq     eventHeap
+	now    Time
+	seq    uint64
+	nfired uint64
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.nfired }
+
+// Pending returns the number of scheduled-but-unfired events.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Schedule runs fn after delay. A negative delay is treated as zero.
+func (e *Engine) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute time t. Scheduling in the past is an error
+// that indicates a broken component model, so it panics.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.pq, event{at: t, seq: e.seq, fn: fn})
+}
+
+// Step executes the next event, if any, and reports whether one ran.
+func (e *Engine) Step() bool {
+	if len(e.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(event)
+	e.now = ev.at
+	e.nfired++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or the next event would
+// fire after the until timestamp. It returns the time at which it stopped.
+// Events exactly at the until timestamp are executed.
+func (e *Engine) Run(until Time) Time {
+	for len(e.pq) > 0 && e.pq[0].at <= until {
+		e.Step()
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return e.now
+}
+
+// Drain executes all remaining events regardless of time. It is intended
+// for tests and for letting in-flight transactions complete after a
+// measurement window closes.
+func (e *Engine) Drain() {
+	for e.Step() {
+	}
+}
+
+// Clock describes a fixed-frequency clock domain and converts between
+// cycles and simulation time.
+type Clock struct {
+	Period Time // duration of one cycle
+}
+
+// NewClockHz builds a Clock from a frequency in hertz.
+func NewClockHz(hz float64) Clock {
+	return Clock{Period: Time(float64(Second)/hz + 0.5)}
+}
+
+// Cycles converts a cycle count to a duration.
+func (c Clock) Cycles(n int64) Time { return Time(n) * c.Period }
+
+// Next returns the first clock edge at or after t.
+func (c Clock) Next(t Time) Time {
+	if c.Period <= 0 {
+		return t
+	}
+	rem := t % c.Period
+	if rem == 0 {
+		return t
+	}
+	return t + c.Period - rem
+}

@@ -1,0 +1,183 @@
+package sim
+
+// Queue is a bounded FIFO used to model hardware buffers. It tracks
+// occupancy statistics so experiments can reason about queuing delay.
+//
+// Queue is generic over the element type; the simulator mostly stores
+// packet pointers in queues.
+type Queue[T any] struct {
+	items    []T
+	capacity int
+
+	// Stats.
+	enq, deq  uint64
+	maxOcc    int
+	occArea   float64 // integral of occupancy over time (for Little's law)
+	lastT     Time
+	statsInit bool
+}
+
+// NewQueue returns a FIFO with the given capacity. A capacity <= 0 means
+// unbounded.
+func NewQueue[T any](capacity int) *Queue[T] {
+	return &Queue[T]{capacity: capacity}
+}
+
+// Cap returns the configured capacity (0 = unbounded).
+func (q *Queue[T]) Cap() int { return q.capacity }
+
+// Len returns the current occupancy.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Full reports whether the queue cannot accept another element.
+func (q *Queue[T]) Full() bool {
+	return q.capacity > 0 && len(q.items) >= q.capacity
+}
+
+// Empty reports whether the queue holds no elements.
+func (q *Queue[T]) Empty() bool { return len(q.items) == 0 }
+
+// Push appends v and reports whether it was accepted. Callers use the
+// boolean to model back-pressure; a false return leaves the queue unchanged.
+func (q *Queue[T]) Push(now Time, v T) bool {
+	if q.Full() {
+		return false
+	}
+	q.account(now)
+	q.items = append(q.items, v)
+	q.enq++
+	if len(q.items) > q.maxOcc {
+		q.maxOcc = len(q.items)
+	}
+	return true
+}
+
+// Pop removes and returns the head element. The boolean is false when the
+// queue is empty.
+func (q *Queue[T]) Pop(now Time) (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	q.account(now)
+	v := q.items[0]
+	// Shift rather than re-slice so the backing array does not grow without
+	// bound over a long simulation.
+	copy(q.items, q.items[1:])
+	q.items[len(q.items)-1] = zero
+	q.items = q.items[:len(q.items)-1]
+	q.deq++
+	return v, true
+}
+
+// Peek returns the head element without removing it.
+func (q *Queue[T]) Peek() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	return q.items[0], true
+}
+
+// At returns the i-th element from the head without removing it.
+// It panics if i is out of range, mirroring slice semantics.
+func (q *Queue[T]) At(i int) T { return q.items[i] }
+
+// RemoveAt removes and returns the i-th element from the head.
+func (q *Queue[T]) RemoveAt(now Time, i int) T {
+	v := q.items[i]
+	q.account(now)
+	var zero T
+	copy(q.items[i:], q.items[i+1:])
+	q.items[len(q.items)-1] = zero
+	q.items = q.items[:len(q.items)-1]
+	q.deq++
+	return v
+}
+
+func (q *Queue[T]) account(now Time) {
+	if !q.statsInit {
+		q.statsInit = true
+		q.lastT = now
+		return
+	}
+	if now > q.lastT {
+		q.occArea += float64(len(q.items)) * float64(now-q.lastT)
+		q.lastT = now
+	}
+}
+
+// Enqueued returns the total number of accepted pushes.
+func (q *Queue[T]) Enqueued() uint64 { return q.enq }
+
+// Dequeued returns the total number of pops.
+func (q *Queue[T]) Dequeued() uint64 { return q.deq }
+
+// MaxOccupancy returns the high-water mark of the queue.
+func (q *Queue[T]) MaxOccupancy() int { return q.maxOcc }
+
+// MeanOccupancy returns the time-averaged occupancy observed between the
+// first accounted operation and now.
+func (q *Queue[T]) MeanOccupancy(now Time) float64 {
+	if !q.statsInit || now <= q.lastT {
+		if q.statsInit && q.lastT > 0 {
+			return q.occArea / float64(q.lastT)
+		}
+		return 0
+	}
+	area := q.occArea + float64(len(q.items))*float64(now-q.lastT)
+	return area / float64(now)
+}
+
+// TokenPool models credit-based flow control: a fixed number of tokens that
+// are acquired before injecting into a buffer and released when the
+// consumer drains it.
+type TokenPool struct {
+	total     int
+	available int
+	waiters   []func()
+	minAvail  int
+}
+
+// NewTokenPool returns a pool holding n tokens.
+func NewTokenPool(n int) *TokenPool {
+	return &TokenPool{total: n, available: n, minAvail: n}
+}
+
+// Total returns the configured token count.
+func (p *TokenPool) Total() int { return p.total }
+
+// Available returns the number of free tokens.
+func (p *TokenPool) Available() int { return p.available }
+
+// MinAvailable returns the low-water mark, useful for sizing buffers.
+func (p *TokenPool) MinAvailable() int { return p.minAvail }
+
+// TryAcquire takes n tokens if they are all available.
+func (p *TokenPool) TryAcquire(n int) bool {
+	if n > p.available {
+		return false
+	}
+	p.available -= n
+	if p.available < p.minAvail {
+		p.minAvail = p.available
+	}
+	return true
+}
+
+// Release returns n tokens and wakes waiters registered with Notify.
+func (p *TokenPool) Release(n int) {
+	p.available += n
+	if p.available > p.total {
+		panic("sim: token pool over-released")
+	}
+	w := p.waiters
+	p.waiters = nil
+	for _, fn := range w {
+		fn()
+	}
+}
+
+// Notify registers fn to run on the next Release. Components use this to
+// retry a blocked injection without polling.
+func (p *TokenPool) Notify(fn func()) { p.waiters = append(p.waiters, fn) }

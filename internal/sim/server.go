@@ -1,0 +1,62 @@
+package sim
+
+// Server models a resource that serves one item at a time for a fixed or
+// per-item duration: a bus, a port, a DRAM data path. Work is serialized:
+// a reservation made while the server is busy begins when the previous one
+// ends.
+type Server struct {
+	eng  *Engine
+	free Time // earliest time the next reservation may start
+
+	busyArea float64 // integral of busy time, for utilization
+	served   uint64
+}
+
+// NewServer returns a Server bound to eng, idle at time zero.
+func NewServer(eng *Engine) *Server { return &Server{eng: eng} }
+
+// Reserve books the server for dur starting no earlier than now, returns
+// the completion time, and schedules done (if non-nil) at that time.
+func (s *Server) Reserve(dur Time, done func()) Time {
+	start := s.eng.Now()
+	if s.free > start {
+		start = s.free
+	}
+	end := start + dur
+	s.free = end
+	s.busyArea += float64(dur)
+	s.served++
+	if done != nil {
+		s.eng.At(end, done)
+	}
+	return end
+}
+
+// NextFree returns the earliest time a new reservation could start.
+func (s *Server) NextFree() Time {
+	if s.free < s.eng.Now() {
+		return s.eng.Now()
+	}
+	return s.free
+}
+
+// Busy reports whether the server has outstanding reservations.
+func (s *Server) Busy() bool { return s.free > s.eng.Now() }
+
+// Served returns the number of completed or in-flight reservations.
+func (s *Server) Served() uint64 { return s.served }
+
+// Utilization returns the fraction of [0, now] the server was busy.
+func (s *Server) Utilization(now Time) float64 {
+	if now <= 0 {
+		return 0
+	}
+	busy := s.busyArea
+	if s.free > now {
+		busy -= float64(s.free - now) // portion booked beyond now
+	}
+	if busy < 0 {
+		busy = 0
+	}
+	return busy / float64(now)
+}

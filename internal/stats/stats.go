@@ -1,0 +1,225 @@
+// Package stats provides the statistical tooling the paper's analysis
+// uses: streaming mean/deviation, fixed-bin histograms, text heatmaps for
+// the per-vault latency distributions (Figures 10 and 12), and the
+// Little's-law estimator of Figure 14.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Stream accumulates streaming statistics with Welford's algorithm.
+type Stream struct {
+	n          uint64
+	mean, m2   float64
+	min, max   float64
+	hasExtrema bool
+}
+
+// Add folds one observation into the stream.
+func (s *Stream) Add(x float64) {
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+	if !s.hasExtrema || x < s.min {
+		s.min = x
+	}
+	if !s.hasExtrema || x > s.max {
+		s.max = x
+	}
+	s.hasExtrema = true
+}
+
+// N returns the observation count.
+func (s *Stream) N() uint64 { return s.n }
+
+// Mean returns the running mean (0 with no observations).
+func (s *Stream) Mean() float64 { return s.mean }
+
+// Var returns the population variance.
+func (s *Stream) Var() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.m2 / float64(s.n)
+}
+
+// StdDev returns the population standard deviation.
+func (s *Stream) StdDev() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation (0 with none).
+func (s *Stream) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 with none).
+func (s *Stream) Max() float64 { return s.max }
+
+// Histogram is a fixed-range, fixed-bin-count histogram. Observations
+// outside the range clamp into the edge bins, as a hardware monitor with
+// saturating counters would.
+type Histogram struct {
+	lo, hi float64
+	bins   []uint64
+	n      uint64
+}
+
+// NewHistogram builds a histogram of nbins equal-width bins over [lo, hi].
+func NewHistogram(lo, hi float64, nbins int) *Histogram {
+	if nbins <= 0 || hi <= lo {
+		panic(fmt.Sprintf("stats: bad histogram range [%v,%v] x%d", lo, hi, nbins))
+	}
+	return &Histogram{lo: lo, hi: hi, bins: make([]uint64, nbins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := int(float64(len(h.bins)) * (x - h.lo) / (h.hi - h.lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.bins) {
+		i = len(h.bins) - 1
+	}
+	h.bins[i]++
+	h.n++
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() uint64 { return h.n }
+
+// Bins returns the raw counts.
+func (h *Histogram) Bins() []uint64 { return h.bins }
+
+// BinCenter returns the midpoint value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.hi - h.lo) / float64(len(h.bins))
+	return h.lo + w*(float64(i)+0.5)
+}
+
+// Normalized returns the bins as fractions of the total count.
+func (h *Histogram) Normalized() []float64 {
+	out := make([]float64, len(h.bins))
+	if h.n == 0 {
+		return out
+	}
+	for i, b := range h.bins {
+		out[i] = float64(b) / float64(h.n)
+	}
+	return out
+}
+
+// Heatmap renders rows of normalized intensities (0..1) as a text grid,
+// the terminal stand-in for the color maps of Figures 10 and 12. Each
+// cell maps intensity onto a shade ramp.
+type Heatmap struct {
+	RowLabel  string
+	ColLabel  string
+	RowNames  []string
+	ColNames  []string
+	Intensity [][]float64 // [row][col], 0..1
+}
+
+var shades = []rune(" .:-=+*#%@")
+
+// Render draws the heatmap.
+func (m Heatmap) Render() string {
+	var b strings.Builder
+	rowW := len(m.RowLabel)
+	for _, r := range m.RowNames {
+		if len(r) > rowW {
+			rowW = len(r)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s |", rowW, m.RowLabel)
+	for _, c := range m.ColNames {
+		fmt.Fprintf(&b, "%s|", c)
+	}
+	b.WriteByte('\n')
+	for i, row := range m.Intensity {
+		name := ""
+		if i < len(m.RowNames) {
+			name = m.RowNames[i]
+		}
+		fmt.Fprintf(&b, "%-*s |", rowW, name)
+		for j, v := range row {
+			w := 2
+			if j < len(m.ColNames) {
+				w = len(m.ColNames[j])
+			}
+			shade := shadeFor(v)
+			b.WriteString(strings.Repeat(string(shade), w))
+			b.WriteByte('|')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func shadeFor(v float64) rune {
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	i := int(v * float64(len(shades)-1))
+	return shades[i]
+}
+
+// Little computes the average number of customers in a system from its
+// throughput and mean residence time (Little's law, the Figure 14
+// analysis): N = lambda * W.
+func Little(ratePerSec, residenceSec float64) float64 {
+	return ratePerSec * residenceSec
+}
+
+// LinearFit returns slope and intercept of a least-squares line through
+// (x, y), used to check the "linear increment" region of Figure 8 and the
+// outstanding-vs-banks linearity of Figure 14.
+func LinearFit(xs, ys []float64) (slope, intercept float64) {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		panic("stats: LinearFit needs equal non-empty slices")
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, sy / n
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	return slope, intercept
+}
+
+// Pearson returns the correlation coefficient between xs and ys.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		panic("stats: Pearson needs two equal-length samples")
+	}
+	var mx, my float64
+	for i := range xs {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= float64(len(xs))
+	my /= float64(len(ys))
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

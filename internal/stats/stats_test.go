@@ -1,0 +1,191 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamBasics(t *testing.T) {
+	var s Stream
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Fatalf("n = %d, want 8", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("mean = %v, want 5", s.Mean())
+	}
+	if s.StdDev() != 2 {
+		t.Fatalf("stddev = %v, want 2", s.StdDev())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	var s Stream
+	if s.Mean() != 0 || s.Var() != 0 || s.StdDev() != 0 {
+		t.Fatal("empty stream not zero-valued")
+	}
+}
+
+func TestStreamMatchesNaive(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Stream
+		var sum float64
+		for _, r := range raw {
+			s.Add(float64(r))
+			sum += float64(r)
+		}
+		mean := sum / float64(len(raw))
+		var v float64
+		for _, r := range raw {
+			v += (float64(r) - mean) * (float64(r) - mean)
+		}
+		v /= float64(len(raw))
+		return math.Abs(s.Mean()-mean) < 1e-6*(1+math.Abs(mean)) &&
+			math.Abs(s.Var()-v) < 1e-4*(1+v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	for i, b := range h.Bins() {
+		if b != 1 {
+			t.Fatalf("bin %d = %d, want 1", i, b)
+		}
+	}
+}
+
+func TestHistogramClamps(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(-100)
+	h.Add(1e9)
+	if h.Bins()[0] != 1 || h.Bins()[4] != 1 {
+		t.Fatalf("edge clamping failed: %v", h.Bins())
+	}
+}
+
+func TestHistogramNormalized(t *testing.T) {
+	h := NewHistogram(0, 4, 4)
+	h.Add(0.5)
+	h.Add(0.5)
+	h.Add(2.5)
+	h.Add(3.5)
+	n := h.Normalized()
+	want := []float64{0.5, 0, 0.25, 0.25}
+	for i := range want {
+		if n[i] != want[i] {
+			t.Fatalf("normalized[%d] = %v, want %v", i, n[i], want[i])
+		}
+	}
+}
+
+func TestHistogramBinCenter(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	if c := h.BinCenter(0); c != 5 {
+		t.Fatalf("BinCenter(0) = %v, want 5", c)
+	}
+	if c := h.BinCenter(9); c != 95 {
+		t.Fatalf("BinCenter(9) = %v, want 95", c)
+	}
+}
+
+func TestHistogramConservesCount(t *testing.T) {
+	f := func(raw []int16) bool {
+		h := NewHistogram(-100, 100, 13)
+		for _, r := range raw {
+			h.Add(float64(r))
+		}
+		var total uint64
+		for _, b := range h.Bins() {
+			total += b
+		}
+		return total == uint64(len(raw)) && h.N() == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeatmapRender(t *testing.T) {
+	m := Heatmap{
+		RowLabel:  "vault",
+		RowNames:  []string{"v0", "v1"},
+		ColNames:  []string{"1600", "1700"},
+		Intensity: [][]float64{{0, 1}, {0.5, 0.1}},
+	}
+	out := m.Render()
+	if !strings.Contains(out, "v0") || !strings.Contains(out, "1700") {
+		t.Fatalf("render missing labels:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("rendered %d lines, want 3", len(lines))
+	}
+	// Intensity 1 renders as the densest shade.
+	if !strings.Contains(lines[1], "@") {
+		t.Fatalf("full intensity not rendered densely: %q", lines[1])
+	}
+}
+
+func TestShadeForBounds(t *testing.T) {
+	if shadeFor(-1) != ' ' {
+		t.Error("negative intensity not clamped to blank")
+	}
+	if shadeFor(2) != '@' {
+		t.Error("overflow intensity not clamped to densest")
+	}
+}
+
+func TestLittle(t *testing.T) {
+	// 62.5M req/s with 8 us residence = 500 outstanding.
+	if n := Little(62.5e6, 8e-6); n != 500 {
+		t.Fatalf("Little = %v, want 500", n)
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 2x + 1
+	slope, intercept := LinearFit(xs, ys)
+	if math.Abs(slope-2) > 1e-9 || math.Abs(intercept-1) > 1e-9 {
+		t.Fatalf("fit = %v, %v, want 2, 1", slope, intercept)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	slope, intercept := LinearFit([]float64{2, 2}, []float64{5, 7})
+	if slope != 0 || intercept != 6 {
+		t.Fatalf("degenerate fit = %v, %v, want 0, 6", slope, intercept)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if r := Pearson(xs, ys); math.Abs(r-1) > 1e-9 {
+		t.Fatalf("perfect correlation = %v, want 1", r)
+	}
+	inv := []float64{10, 8, 6, 4, 2}
+	if r := Pearson(xs, inv); math.Abs(r+1) > 1e-9 {
+		t.Fatalf("perfect anticorrelation = %v, want -1", r)
+	}
+	flat := []float64{3, 3, 3, 3, 3}
+	if r := Pearson(xs, flat); r != 0 {
+		t.Fatalf("flat correlation = %v, want 0", r)
+	}
+}

@@ -1,0 +1,84 @@
+// Package trace reads and writes the memory trace files the multi-port
+// stream firmware consumes (Section III-B: "a custom firmware which
+// generates requests from memory trace files").
+//
+// The format is one request per line:
+//
+//	R 0x00012380 64
+//	W 0x00012400 128
+//
+// — operation, hexadecimal byte address, and size in bytes. Blank lines
+// and lines starting with '#' are ignored.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"hmcsim/internal/host"
+	"hmcsim/internal/packet"
+)
+
+// Write serializes requests to w in the trace format.
+func Write(w io.Writer, reqs []host.Request) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range reqs {
+		op := "R"
+		if r.Write {
+			op = "W"
+		}
+		if _, err := fmt.Fprintf(bw, "%s 0x%08x %d\n", op, r.Addr, r.Size); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace. It validates operations, addresses and sizes and
+// reports the offending line number on error.
+func Read(r io.Reader) ([]host.Request, error) {
+	var out []host.Request
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("trace: line %d: want 'OP ADDR SIZE', got %q", lineNo, line)
+		}
+		var req host.Request
+		switch fields[0] {
+		case "R", "r":
+			req.Write = false
+		case "W", "w":
+			req.Write = true
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown op %q", lineNo, fields[0])
+		}
+		addr, err := strconv.ParseUint(strings.TrimPrefix(fields[1], "0x"), 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad address %q: %v", lineNo, fields[1], err)
+		}
+		req.Addr = addr
+		size, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad size %q: %v", lineNo, fields[2], err)
+		}
+		if !packet.ValidSize(size) {
+			return nil, fmt.Errorf("trace: line %d: size %d not a flit multiple in [16,128]", lineNo, size)
+		}
+		req.Size = size
+		out = append(out, req)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %v", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hmcsim/internal/host"
+)
+
+func TestRoundTrip(t *testing.T) {
+	in := []host.Request{
+		{Addr: 0x1234, Size: 16},
+		{Addr: 0xDEADBE00, Size: 128, Write: true},
+		{Addr: 0, Size: 64},
+	}
+	var b strings.Builder
+	if err := Write(&b, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip length %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("entry %d: %+v != %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	src := "# header\n\nR 0x40 32\n  \n# tail\nW 0x80 16\n"
+	out, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Write || !out[1].Write {
+		t.Fatalf("parsed %+v", out)
+	}
+}
+
+func TestReadLowercaseOps(t *testing.T) {
+	out, err := Read(strings.NewReader("r 0x0 16\nw 0x80 32\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Write || !out[1].Write {
+		t.Fatalf("parsed %+v", out)
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"X 0x0 16",       // unknown op
+		"R zzz 16",       // bad address
+		"R 0x0 17",       // bad size
+		"R 0x0 0",        // zero size
+		"R 0x0 256",      // oversized
+		"R 0x0",          // missing field
+		"R 0x0 16 extra", // extra field
+		"R 0x0 sixteen",  // non-numeric size
+	}
+	for _, line := range bad {
+		if _, err := Read(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("line %q parsed without error", line)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(addrs []uint32, sizeIdx []uint8, writes []bool) bool {
+		n := len(addrs)
+		if len(sizeIdx) < n {
+			n = len(sizeIdx)
+		}
+		if len(writes) < n {
+			n = len(writes)
+		}
+		in := make([]host.Request, n)
+		for i := 0; i < n; i++ {
+			in[i] = host.Request{
+				Addr:  uint64(addrs[i]),
+				Size:  16 * (int(sizeIdx[i]%8) + 1),
+				Write: writes[i],
+			}
+		}
+		var b strings.Builder
+		if err := Write(&b, in); err != nil {
+			return false
+		}
+		out, err := Read(strings.NewReader(b.String()))
+		if err != nil {
+			return false
+		}
+		if len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if out[i] != in[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

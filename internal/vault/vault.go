@@ -1,0 +1,304 @@
+// Package vault implements the HMC vault controller: the per-vault memory
+// controller in the logic layer (Section II-A). Each vault owns sixteen
+// DRAM banks behind per-bank request queues and a 32-byte-granularity TSV
+// data path whose limited bandwidth (~10 GB/s) is one of the bottlenecks
+// the paper identifies (Sections IV-A and IV-F).
+//
+// The per-bank queue structure is the design choice Figure 14 infers from
+// Little's law: saturated outstanding-request counts grow linearly with
+// the number of banks accessed, so the controller must dedicate a queue to
+// each bank rather than share one.
+package vault
+
+import (
+	"fmt"
+
+	"hmcsim/internal/dram"
+	"hmcsim/internal/packet"
+	"hmcsim/internal/phys"
+	"hmcsim/internal/sim"
+)
+
+// RespOutlet consumes completed transactions, typically the response side
+// of the internal NoC. TryOut must be non-blocking; when it reports false
+// the vault registers a wake-up via NotifyOut for that transaction.
+type RespOutlet interface {
+	TryOut(tr *packet.Transaction) bool
+	NotifyOut(tr *packet.Transaction, fn func())
+}
+
+// Config parameterizes one vault controller.
+type Config struct {
+	ID             int
+	Banks          int // banks per vault (16 in HMC 1.1)
+	BankQueueDepth int // requests queued per bank
+	Timing         dram.Timing
+	Policy         dram.PagePolicy
+	// TSVBandwidth is the vault's internal data-path bandwidth. Service
+	// time is charged on the counted transaction size (request plus
+	// response bytes), which reproduces the ~10 GB/s plateau the paper
+	// measures for within-vault access patterns regardless of request
+	// size.
+	TSVBandwidth phys.Bandwidth
+	// TSVWindow bounds how many transactions may sit between bank issue
+	// and TSV completion; it throttles banks when the TSV is the
+	// bottleneck.
+	TSVWindow   int
+	CtrlLatency sim.Time // fixed controller pipeline latency per response
+
+	// RecvQueueDepth sizes the controller's shared input buffer between
+	// the NoC and the per-bank queues. The dispatcher moves requests out
+	// of it into bank queues out of order across banks, so one full bank
+	// does not stall traffic to its siblings until the input buffer
+	// itself fills with requests for the blocked bank.
+	RecvQueueDepth int
+}
+
+// DefaultConfig returns the HMC 1.1 vault parameters used by the
+// reproduction.
+func DefaultConfig(id int) Config {
+	return Config{
+		ID:             id,
+		Banks:          16,
+		BankQueueDepth: 128,
+		Timing:         dram.DefaultTiming(),
+		Policy:         dram.ClosedPage,
+		TSVBandwidth:   phys.GBps(10),
+		TSVWindow:      8,
+		CtrlLatency:    4 * sim.Nanosecond,
+		RecvQueueDepth: 32,
+	}
+}
+
+// Vault is one vault controller plus its DRAM banks.
+type Vault struct {
+	eng  *sim.Engine
+	cfg  Config
+	resp RespOutlet
+
+	banks    []*dram.Bank
+	recvQ    *sim.Queue[*packet.Transaction]
+	queues   []*sim.Queue[*packet.Transaction]
+	bankBusy []bool
+
+	tsv       *sim.Server
+	tsvTokens *sim.TokenPool
+
+	out           *sim.Queue[*packet.Transaction]
+	pumping       bool
+	dispatching   bool
+	dispatchAgain bool
+	acceptWait    []func()
+
+	reads, writes uint64
+	bytesServed   uint64
+}
+
+// New builds a vault. resp receives completed transactions.
+func New(eng *sim.Engine, cfg Config, resp RespOutlet) *Vault {
+	if cfg.Banks <= 0 || cfg.BankQueueDepth <= 0 {
+		panic(fmt.Sprintf("vault %d: invalid geometry %+v", cfg.ID, cfg))
+	}
+	if err := cfg.Timing.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.RecvQueueDepth <= 0 {
+		cfg.RecvQueueDepth = 16
+	}
+	v := &Vault{
+		eng:       eng,
+		cfg:       cfg,
+		resp:      resp,
+		banks:     make([]*dram.Bank, cfg.Banks),
+		recvQ:     sim.NewQueue[*packet.Transaction](cfg.RecvQueueDepth),
+		queues:    make([]*sim.Queue[*packet.Transaction], cfg.Banks),
+		bankBusy:  make([]bool, cfg.Banks),
+		tsv:       sim.NewServer(eng),
+		tsvTokens: sim.NewTokenPool(cfg.TSVWindow),
+		out:       sim.NewQueue[*packet.Transaction](0),
+	}
+	for i := range v.banks {
+		v.banks[i] = dram.NewBank(cfg.Timing, cfg.Policy)
+		if cfg.Timing.TREFI > 0 {
+			// Stagger refresh across the cube so vaults and banks never
+			// refresh in lockstep, as real controllers schedule it.
+			slot := sim.Time(cfg.ID*cfg.Banks + i)
+			v.banks[i].SetRefreshPhase(slot * cfg.Timing.TREFI / sim.Time(16*cfg.Banks))
+		}
+		v.queues[i] = sim.NewQueue[*packet.Transaction](cfg.BankQueueDepth)
+	}
+	return v
+}
+
+// ID returns the vault number.
+func (v *Vault) ID() int { return v.cfg.ID }
+
+// TryAccept enqueues tr into the controller's shared input buffer. It
+// reports false, leaving the vault unchanged, when the buffer is full;
+// the caller should register a retry with NotifyAccept. This is the
+// back-pressure boundary that pushes queuing out into the NoC and
+// ultimately the host.
+func (v *Vault) TryAccept(tr *packet.Transaction) bool {
+	if tr.Bank < 0 || tr.Bank >= v.cfg.Banks {
+		panic(fmt.Sprintf("vault %d: transaction for bank %d", v.cfg.ID, tr.Bank))
+	}
+	now := v.eng.Now()
+	// Fast path: move straight into the bank queue when possible.
+	if v.recvQ.Empty() && v.queues[tr.Bank].Push(now, tr) {
+		tr.TVaultIn = now
+		v.kickBank(tr.Bank)
+		return true
+	}
+	if !v.recvQ.Push(now, tr) {
+		return false
+	}
+	tr.TVaultIn = now
+	v.dispatch()
+	return true
+}
+
+// dispatch moves requests from the input buffer into bank queues,
+// skipping over requests whose bank is full (out-of-order across banks,
+// in-order within a bank because the scan preserves arrival order per
+// bank). Re-entrant calls — kickBank frees a slot mid-scan — are deferred
+// to another pass rather than recursing into the live scan.
+func (v *Vault) dispatch() {
+	if v.dispatching {
+		v.dispatchAgain = true
+		return
+	}
+	v.dispatching = true
+	now := v.eng.Now()
+	moved := false
+	for {
+		v.dispatchAgain = false
+		for i := 0; i < v.recvQ.Len(); {
+			tr := v.recvQ.At(i)
+			if v.queues[tr.Bank].Push(now, tr) {
+				v.recvQ.RemoveAt(now, i)
+				v.kickBank(tr.Bank)
+				moved = true
+				continue // same index now holds the next element
+			}
+			i++
+		}
+		if !v.dispatchAgain {
+			break
+		}
+	}
+	v.dispatching = false
+	if moved {
+		v.wakeAcceptors()
+	}
+}
+
+// NotifyAccept registers fn to run the next time any bank queue frees a
+// slot.
+func (v *Vault) NotifyAccept(fn func()) { v.acceptWait = append(v.acceptWait, fn) }
+
+func (v *Vault) wakeAcceptors() {
+	w := v.acceptWait
+	v.acceptWait = nil
+	for _, fn := range w {
+		fn()
+	}
+}
+
+// kickBank issues the head of bank b's queue if the bank is idle and the
+// TSV window has room.
+func (v *Vault) kickBank(b int) {
+	if v.bankBusy[b] || v.queues[b].Empty() {
+		return
+	}
+	if !v.tsvTokens.TryAcquire(1) {
+		v.tsvTokens.Notify(func() { v.kickBank(b) })
+		return
+	}
+	now := v.eng.Now()
+	tr, _ := v.queues[b].Pop(now)
+	v.bankBusy[b] = true
+	v.dispatch()
+
+	tr.TIssued = now
+	if tr.Write {
+		v.writes++
+	} else {
+		v.reads++
+	}
+	v.bytesServed += uint64(tr.Size)
+
+	dataDone, bankReady := v.banks[b].Access(now, tr.Row, tr.Size)
+	v.eng.At(bankReady, func() {
+		v.bankBusy[b] = false
+		v.kickBank(b)
+	})
+	v.eng.At(dataDone, func() {
+		// The completed access crosses the vault's internal data path;
+		// service time covers the counted request+response bytes.
+		v.tsv.Reserve(v.cfg.TSVBandwidth.TimeFor(tr.RoundTripBytes()), func() {
+			v.tsvTokens.Release(1)
+			v.eng.Schedule(v.cfg.CtrlLatency, func() {
+				v.out.Push(v.eng.Now(), tr)
+				v.pumpOut()
+			})
+		})
+	})
+}
+
+// pumpOut drains completed transactions into the response outlet.
+func (v *Vault) pumpOut() {
+	if v.pumping {
+		return
+	}
+	v.pumping = true
+	defer func() { v.pumping = false }()
+	for {
+		tr, ok := v.out.Peek()
+		if !ok {
+			return
+		}
+		if !v.resp.TryOut(tr) {
+			v.resp.NotifyOut(tr, func() { v.pumpOut() })
+			return
+		}
+		v.out.Pop(v.eng.Now())
+		tr.TVaultOut = v.eng.Now()
+	}
+}
+
+// QueueLen returns the occupancy of bank b's request queue.
+func (v *Vault) QueueLen(b int) int { return v.queues[b].Len() }
+
+// RecvQueued returns the occupancy of the shared input buffer.
+func (v *Vault) RecvQueued() int { return v.recvQ.Len() }
+
+// Queued returns the total requests waiting in all bank queues.
+func (v *Vault) Queued() int {
+	n := 0
+	for _, q := range v.queues {
+		n += q.Len()
+	}
+	return n
+}
+
+// Reads returns the number of read transactions issued to DRAM.
+func (v *Vault) Reads() uint64 { return v.reads }
+
+// Writes returns the number of write transactions issued to DRAM.
+func (v *Vault) Writes() uint64 { return v.writes }
+
+// BytesServed returns the total data bytes moved by the banks.
+func (v *Vault) BytesServed() uint64 { return v.bytesServed }
+
+// Bank exposes bank b's DRAM model for inspection in tests and stats.
+func (v *Vault) Bank(b int) *dram.Bank { return v.banks[b] }
+
+// TSVUtilization reports the internal data path's busy fraction.
+func (v *Vault) TSVUtilization(now sim.Time) float64 { return v.tsv.Utilization(now) }
+
+// OutQueued returns completed transactions waiting for the response
+// network (diagnostics).
+func (v *Vault) OutQueued() int { return v.out.Len() }
+
+// TSVHeld returns how many TSV window slots are currently held.
+func (v *Vault) TSVHeld() int { return v.cfg.TSVWindow - v.tsvTokens.Available() }
