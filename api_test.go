@@ -1,0 +1,131 @@
+// Tests for the public hmcsim API surface: the sweep fan-out, the trace
+// generator, and the workload adapters.
+package hmcsim_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"hmcsim"
+)
+
+func TestSweepPreservesOrder(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		var calls atomic.Int64
+		out := hmcsim.Sweep(workers, 100, func(i int) int {
+			calls.Add(1)
+			return i * i
+		})
+		if len(out) != 100 || calls.Load() != 100 {
+			t.Fatalf("workers=%d: %d results from %d calls", workers, len(out), calls.Load())
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+	if got := hmcsim.Sweep(4, 0, func(int) int { return 1 }); got != nil {
+		t.Errorf("empty sweep returned %v", got)
+	}
+}
+
+func TestSweep2CrossProduct(t *testing.T) {
+	as := []int{1, 2, 3}
+	bs := []string{"x", "y"}
+	got := hmcsim.Sweep2(2, as, bs, func(a int, b string) string {
+		return string(rune('0'+a)) + b
+	})
+	want := []string{"1x", "1y", "2x", "2y", "3x", "3y"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTraceSpecGenerate(t *testing.T) {
+	spec := hmcsim.TraceSpec{N: 200, Size: 64, Vaults: 2, Writes: 0.25, Seed: 3}
+	a, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 200 {
+		t.Fatalf("got %d requests", len(a))
+	}
+	writes := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs across identical specs", i)
+		}
+		if a[i].Size != 64 || a[i].Addr%64 != 0 {
+			t.Errorf("request %d not 64B-aligned: %+v", i, a[i])
+		}
+		if a[i].Write {
+			writes++
+		}
+	}
+	if writes == 0 || writes == len(a) {
+		t.Errorf("write mix %d/%d, want a 25%% blend", writes, len(a))
+	}
+
+	if _, err := (hmcsim.TraceSpec{N: 1, Size: 40}).Generate(); err == nil {
+		t.Error("size 40 accepted, want error (not a flit multiple)")
+	}
+	if _, err := (hmcsim.TraceSpec{N: 1, Size: 64, Vaults: 3}).Generate(); err == nil {
+		t.Error("3 vaults accepted, want error (not a power of two)")
+	}
+}
+
+func TestWorkloadAdapters(t *testing.T) {
+	sys := hmcsim.NewSystem(hmcsim.DefaultConfig())
+	g := hmcsim.GUPS{
+		Ports: 2, Size: 32, Pattern: hmcsim.AllVaults,
+		Warmup: 2 * hmcsim.Microsecond, Window: 5 * hmcsim.Microsecond,
+	}
+	m := g.Run(sys)
+	if m.Reads == 0 || m.GBps <= 0 || m.AvgLatNs <= 0 {
+		t.Errorf("GUPS measurement empty: %+v", m)
+	}
+
+	reqs, err := hmcsim.TraceSpec{N: 50, Size: 32, Vaults: 1, Seed: 5}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2 := hmcsim.NewSystem(hmcsim.DefaultConfig())
+	r := hmcsim.TraceReplay{Requests: reqs, Ports: 3}.Run(sys2)
+	if len(r.Ports) != 3 {
+		t.Fatalf("want 3 per-port measurements, got %d", len(r.Ports))
+	}
+	if r.Reads != 150 {
+		t.Errorf("aggregate reads = %d, want 150", r.Reads)
+	}
+	for i, p := range r.Ports {
+		if p.Reads != 50 {
+			t.Errorf("port %d reads = %d, want 50", i, p.Reads)
+		}
+	}
+}
+
+func TestBackendsComparable(t *testing.T) {
+	o := hmcsim.Options{Quick: true}
+	backends := hmcsim.ComparisonBackends()
+	if len(backends) != 2 {
+		t.Fatalf("want 2 comparison backends, got %d", len(backends))
+	}
+	for _, b := range backends {
+		if b.Name() == "" {
+			t.Error("unnamed backend")
+		}
+		if lat := b.IdleLatencyNs(o, 64); lat <= 0 {
+			t.Errorf("%s: idle latency %v", b.Name(), lat)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package hmcsim
+
+import (
+	"hmcsim/internal/core"
+	"hmcsim/internal/ddr"
+	"hmcsim/internal/sim"
+)
+
+// Backend is an attachable memory device under test. Each backend
+// encapsulates its own measurement methodology so device comparisons
+// (the paper's DDR3 baseline, Section IV-B) become plain sweeps over a
+// backend list rather than special-cased code.
+type Backend interface {
+	Name() string
+	// IdleLatencyNs measures one isolated read of size bytes, in
+	// nanoseconds of device latency.
+	IdleLatencyNs(o Options, size int) float64
+	// RandomReadGBps measures data bandwidth (payload bytes per second,
+	// in GB/s) under saturating random reads of size bytes.
+	RandomReadGBps(o Options, size int) float64
+}
+
+// ComparisonBackends returns the devices of the paper's comparison, the
+// DDR baseline first.
+func ComparisonBackends() []Backend { return []Backend{DDRChannel{}, HMCDevice{}} }
+
+// HMCDevice measures the HMC 1.1 cube behind the AC-510 host model.
+type HMCDevice struct{}
+
+// Name identifies the device.
+func (HMCDevice) Name() string { return "HMC 1.1 (device)" }
+
+// IdleLatencyNs plays a single read and subtracts the fixed FPGA
+// pipeline, exactly how the paper isolates the 100-180 ns HMC
+// contribution from the 547 ns infrastructure floor.
+func (HMCDevice) IdleLatencyNs(o Options, size int) float64 {
+	sys := o.NewSystem()
+	trace := sys.RandomTrace(1, size, sys.SingleVault(0), 1)
+	ports := sys.PlayStreams([][]Request{trace})
+	floor := sys.Cfg.Host.TxLatency + sys.Cfg.Host.RxLatency
+	return (ports[0].Mon.AvgLat() - floor).Nanoseconds()
+}
+
+// RandomReadGBps saturates the cube with nine GUPS ports of random
+// reads and counts payload bytes through the host infrastructure.
+func (HMCDevice) RandomReadGBps(o Options, size int) float64 {
+	sys := o.NewSystem()
+	r := sys.RunGUPS(core.GUPSSpec{
+		Ports: 9, Size: size, Pattern: core.AllVaults(),
+		Warmup: o.Warmup(), Window: o.Window(),
+	})
+	return float64(r.Reads*uint64(size)) / r.Window.Seconds() / 1e9
+}
+
+// InternalGBps is the cube's aggregate internal bandwidth (16 vaults
+// times the per-vault TSV bandwidth); the measured external figure is
+// capped by the two half-width links and the FPGA controller, not by
+// the memory itself.
+func (HMCDevice) InternalGBps() float64 {
+	cfg := DefaultConfig()
+	return 16 * cfg.HMC.Vault.TSVBandwidth.GBpsValue()
+}
+
+// DDRChannel measures a single synchronous DDR3-1600 channel.
+type DDRChannel struct{}
+
+// Name identifies the device.
+func (DDRChannel) Name() string { return "DDR3-1600 channel" }
+
+// IdleLatencyNs issues one isolated read against an idle channel.
+func (DDRChannel) IdleLatencyNs(o Options, size int) float64 {
+	eng := sim.NewEngine()
+	c := ddr.New(eng, ddr.DefaultConfig())
+	var out float64
+	eng.Schedule(0, func() {
+		c.TryAccess(&ddr.Request{Addr: 0x40, Size: size}, func(r *ddr.Request) {
+			out = r.Done.Nanoseconds()
+		})
+	})
+	eng.Drain()
+	return out
+}
+
+// RandomReadGBps drives back-to-back random reads until a fixed request
+// count drains, then divides payload bytes by elapsed simulated time.
+func (DDRChannel) RandomReadGBps(o Options, size int) float64 {
+	eng := sim.NewEngine()
+	c := ddr.New(eng, ddr.DefaultConfig())
+	rng := sim.NewRand(o.Seed + 9)
+	completed := 0
+	n := 20000
+	if o.Quick {
+		n = 5000
+	}
+	var issue func(i int)
+	issue = func(i int) {
+		if i >= n {
+			return
+		}
+		req := &ddr.Request{Addr: rng.Uint64() & (1<<32 - 1) &^ uint64(size-1), Size: size}
+		if !c.TryAccess(req, func(*ddr.Request) { completed++ }) {
+			c.Notify(func() { issue(i) })
+			return
+		}
+		issue(i + 1)
+	}
+	eng.Schedule(0, func() { issue(0) })
+	eng.Drain()
+	return float64(completed*size) / eng.Now().Seconds() / 1e9
+}

@@ -10,7 +10,11 @@
 package hmcsim_test
 
 import (
+	"encoding/json"
+	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"hmcsim/internal/core"
 	"hmcsim/internal/dram"
@@ -19,6 +23,57 @@ import (
 )
 
 var quick = exp.Options{Quick: true}
+
+// BenchmarkExperiments iterates the experiment registry, so newly
+// registered runners are benchmarked without editing this file.
+func BenchmarkExperiments(b *testing.B) {
+	for _, r := range exp.Runners() {
+		b.Run(r.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := r.Run(quick)
+				if len(res.Series) == 0 {
+					b.Fatalf("%s: empty result", r.Name())
+				}
+			}
+		})
+	}
+}
+
+// TestBenchSweep runs every registered experiment once in quick mode
+// and writes the wall-clock trajectory to BENCH_sweep.json, the
+// performance record future changes are compared against.
+func TestBenchSweep(t *testing.T) {
+	type entry struct {
+		Name   string  `json:"name"`
+		Millis float64 `json:"millis"`
+	}
+	// Record the effective fan-out: timings scale with the cores the
+	// sweeps actually used, so trajectories are only comparable between
+	// runs with the same worker count.
+	sweep := struct {
+		Quick   bool    `json:"quick"`
+		Workers int     `json:"workers"`
+		Entries []entry `json:"entries"`
+	}{Quick: true, Workers: runtime.NumCPU()}
+	for _, r := range exp.Runners() {
+		start := time.Now()
+		res := r.Run(quick)
+		if res.Name != r.Name() {
+			t.Fatalf("runner %q produced result %q", r.Name(), res.Name)
+		}
+		sweep.Entries = append(sweep.Entries, entry{
+			Name:   r.Name(),
+			Millis: float64(time.Since(start).Microseconds()) / 1000,
+		})
+	}
+	blob, err := json.MarshalIndent(sweep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_sweep.json", append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
 
 func BenchmarkTableI(b *testing.B) {
 	for i := 0; i < b.N; i++ {

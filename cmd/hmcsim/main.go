@@ -1,56 +1,93 @@
 // Command hmcsim regenerates the tables and figures of "Performance
 // Implications of NoCs on 3D-Stacked Memories: Insights from the Hybrid
 // Memory Cube" (ISPASS 2018) on the cycle-level simulator in this
-// repository.
+// repository. Experiments come from the internal/exp registry, so a
+// newly registered runner appears here (and in -list) automatically.
 //
 // Usage:
 //
-//	hmcsim -exp table1|eq1|fig6|fig7|fig8|fig9|fig10|fig13|fig14|all [-quick] [-seed N]
+//	hmcsim [-exp name[,name...]|all] [-quick] [-seed N] [-workers N] [-format text|json] [-list]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 	"time"
 
+	"hmcsim"
 	"hmcsim/internal/exp"
 )
 
-func main() {
-	which := flag.String("exp", "all", "experiment to run (table1, eq1, fig6, fig7, fig8, fig9, fig10, fig13, fig14, all)")
-	quick := flag.Bool("quick", false, "reduced sweeps and windows")
-	seed := flag.Uint64("seed", 0, "workload seed override")
-	flag.Parse()
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
-	o := exp.Options{Quick: *quick, Seed: *seed}
-	runners := map[string]func() fmt.Stringer{
-		"table1": func() fmt.Stringer { return exp.TableI() },
-		"eq1":    func() fmt.Stringer { return exp.PeakBandwidth() },
-		"fig6":   func() fmt.Stringer { return exp.Fig6(o) },
-		"fig7":   func() fmt.Stringer { return exp.Fig7(o) },
-		"fig8":   func() fmt.Stringer { return exp.Fig8(o) },
-		"fig9":   func() fmt.Stringer { return exp.Fig9(o) },
-		"fig10":  func() fmt.Stringer { return exp.Fig10(o) },
-		"fig13":  func() fmt.Stringer { return exp.Fig13(o) },
-		"fig14":  func() fmt.Stringer { return exp.Fig14(o) },
-		"ddr":    func() fmt.Stringer { return exp.DDRComparison(o) },
-	}
-	order := []string{"table1", "eq1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig13", "fig14", "ddr"}
-
-	names := []string{*which}
-	if *which == "all" {
-		names = order
-	}
-	for _, name := range names {
-		run, ok := runners[name]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "hmcsim: unknown experiment %q\n", name)
-			os.Exit(2)
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hmcsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	which := fs.String("exp", "all", "experiment(s) to run: a registered name, a comma-separated list, or \"all\"")
+	quick := fs.Bool("quick", false, "reduced sweeps and windows")
+	seed := fs.Uint64("seed", 0, "workload seed override")
+	workers := fs.Int("workers", 0, "sweep fan-out; 0 = NumCPU, 1 = sequential (results are identical either way)")
+	format := fs.String("format", "text", "output format: text or json")
+	list := fs.Bool("list", false, "list registered experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
 		}
-		start := time.Now()
-		result := run()
-		fmt.Println(result)
-		fmt.Printf("[%s took %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		return 2
 	}
+
+	if *list {
+		for _, r := range exp.Runners() {
+			fmt.Fprintf(stdout, "%-8s %s\n", r.Name(), r.Describe())
+		}
+		return 0
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(stderr, "hmcsim: unknown format %q (want text or json)\n", *format)
+		return 2
+	}
+
+	names := strings.Split(*which, ",")
+	if *which == "all" {
+		names = exp.Names()
+	}
+	// Resolve every name before running anything: a typo late in the
+	// list must fail fast, not discard minutes of completed sweeps.
+	for i, name := range names {
+		names[i] = strings.TrimSpace(name)
+		if _, err := exp.Runner(names[i]); err != nil {
+			fmt.Fprintln(stderr, "hmcsim:", err)
+			return 2
+		}
+	}
+	o := exp.Options{Quick: *quick, Seed: *seed, Workers: *workers}
+
+	var results []hmcsim.Result
+	for _, name := range names {
+		start := time.Now()
+		res, err := exp.Run(name, o)
+		if err != nil {
+			fmt.Fprintln(stderr, "hmcsim:", err)
+			return 2
+		}
+		if *format == "text" {
+			fmt.Fprintln(stdout, res)
+			fmt.Fprintf(stdout, "[%s took %v]\n\n", res.Name, time.Since(start).Round(time.Millisecond))
+		} else {
+			results = append(results, res)
+		}
+	}
+	if *format == "json" {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(stderr, "hmcsim:", err)
+			return 1
+		}
+	}
+	return 0
 }

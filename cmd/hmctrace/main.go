@@ -1,6 +1,7 @@
 // Command hmctrace generates memory trace files for the multi-port
 // stream firmware model: random or sequential reads/writes confined to a
-// structural subset of the cube.
+// structural subset of the cube. It is a thin flag wrapper over the
+// public hmcsim.TraceSpec generator.
 //
 // Usage:
 //
@@ -12,10 +13,7 @@ import (
 	"fmt"
 	"os"
 
-	"hmcsim/internal/addr"
-	"hmcsim/internal/host"
-	"hmcsim/internal/packet"
-	"hmcsim/internal/sim"
+	"hmcsim"
 	"hmcsim/internal/trace"
 )
 
@@ -30,43 +28,19 @@ func main() {
 	block := flag.Int("block", 128, "address-interleave block size")
 	flag.Parse()
 
-	if !packet.ValidSize(*size) {
-		fmt.Fprintln(os.Stderr, "hmctrace: size must be a multiple of 16 in [16,128]")
-		os.Exit(2)
-	}
-	mapping, err := addr.NewMapping(*block)
+	reqs, err := hmcsim.TraceSpec{
+		N:          *n,
+		Size:       *size,
+		Vaults:     *vaults,
+		Banks:      *banks,
+		Writes:     *writes,
+		Sequential: *seq,
+		Seed:       *seed,
+		BlockSize:  *block,
+	}.Generate()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hmctrace:", err)
 		os.Exit(2)
-	}
-	mask := addr.AllAccess
-	if *banks > 0 {
-		mask, err = mapping.BanksMask(*banks)
-	} else if *vaults != addr.Vaults {
-		mask, err = mapping.VaultsMask(*vaults)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "hmctrace:", err)
-		os.Exit(2)
-	}
-
-	rng := sim.NewRand(*seed)
-	reqs := make([]host.Request, *n)
-	var cursor uint64
-	for i := range reqs {
-		var raw uint64
-		if *seq {
-			raw = cursor
-			cursor += uint64(*size)
-		} else {
-			raw = rng.Uint64()
-		}
-		a := mask.Apply(raw&(addr.CubeBytes-1)) &^ uint64(*size-1)
-		reqs[i] = host.Request{
-			Addr:  a,
-			Size:  *size,
-			Write: rng.Float64() < *writes,
-		}
 	}
 	if err := trace.Write(os.Stdout, reqs); err != nil {
 		fmt.Fprintln(os.Stderr, "hmctrace:", err)

@@ -8,12 +8,11 @@ package main
 import (
 	"fmt"
 
-	"hmcsim/internal/core"
-	"hmcsim/internal/sim"
+	"hmcsim"
 )
 
 func main() {
-	sys := core.NewSystem(core.DefaultConfig())
+	sys := hmcsim.NewSystem(hmcsim.DefaultConfig())
 
 	// Show where one OS page lands.
 	spread := sys.Map.PageVaults(0x4000_3000)
@@ -23,27 +22,27 @@ func main() {
 
 	// Sequential GUPS sweep over the whole cube: pages naturally stripe
 	// across vaults.
-	seq := sys.RunGUPS(core.GUPSSpec{
-		Ports: 9, Size: 128, Pattern: core.AllVaults(), Linear: true,
-		Warmup: 30 * sim.Microsecond, Window: 100 * sim.Microsecond,
-	})
+	seq := hmcsim.GUPS{
+		Ports: 9, Size: 128, Pattern: hmcsim.AllVaults, Linear: true,
+		Warmup: 30 * hmcsim.Microsecond, Window: 100 * hmcsim.Microsecond,
+	}.Run(sys)
 
 	// The anti-pattern: the same request stream forced into one vault
 	// (e.g. a bad custom mapping), which serializes on the vault's
 	// ~10 GB/s TSV data path.
-	sys2 := core.NewSystem(core.DefaultConfig())
-	confined := sys2.RunGUPS(core.GUPSSpec{
-		Ports: 9, Size: 128, Pattern: sys2.Vaults(1), Linear: true,
-		Warmup: 30 * sim.Microsecond, Window: 100 * sim.Microsecond,
-	})
+	sys2 := hmcsim.NewSystem(hmcsim.DefaultConfig())
+	confined := hmcsim.GUPS{
+		Ports: 9, Size: 128, Pattern: hmcsim.PatternSpec{Name: "1 vault", Vaults: 1}, Linear: true,
+		Warmup: 30 * hmcsim.Microsecond, Window: 100 * hmcsim.Microsecond,
+	}.Run(sys2)
 
 	fmt.Println("Sequential 128B streaming, nine ports:")
-	fmt.Printf("  page-interleaved (all vaults): %v, avg latency %5.0f ns\n",
-		seq.Bandwidth, seq.AvgLat.Nanoseconds())
-	fmt.Printf("  confined to one vault:         %v, avg latency %5.0f ns\n",
-		confined.Bandwidth, confined.AvgLat.Nanoseconds())
+	fmt.Printf("  page-interleaved (all vaults): %.2f GB/s, avg latency %5.0f ns\n",
+		seq.GBps, seq.AvgLatNs)
+	fmt.Printf("  confined to one vault:         %.2f GB/s, avg latency %5.0f ns\n",
+		confined.GBps, confined.AvgLatNs)
 	fmt.Printf("  interleaving advantage:        %.1fx bandwidth\n",
-		seq.Bandwidth.GBpsValue()/confined.Bandwidth.GBpsValue())
+		seq.GBps/confined.GBps)
 	fmt.Println("\nMapping accesses across vaults first, then banks, is the key to")
 	fmt.Println("bandwidth in NoC-based stacked memories (Section IV-F).")
 }

@@ -8,16 +8,15 @@ package main
 import (
 	"fmt"
 
-	"hmcsim/internal/core"
-	"hmcsim/internal/host"
+	"hmcsim"
 )
 
 func run(sensitiveVault int) (avgNs, maxNs float64) {
-	sys := core.NewSystem(core.DefaultConfig())
+	sys := hmcsim.NewSystem(hmcsim.DefaultConfig())
 	const backgroundVault = 2
 	const n = 800
 
-	traces := make([][]host.Request, 4)
+	traces := make([][]hmcsim.Request, 4)
 	// Three background ports hammer vault 2 with large reads.
 	for i := 0; i < 3; i++ {
 		traces[i] = sys.RandomTrace(n, 128, sys.SingleVault(backgroundVault), uint64(i+1))
@@ -27,9 +26,9 @@ func run(sensitiveVault int) (avgNs, maxNs float64) {
 	// argument.
 	traces[3] = sys.RandomTrace(n, 16, sys.SingleVault(sensitiveVault), 99)
 
-	ports := sys.PlayStreams(traces)
-	mon := ports[3].Mon
-	return mon.AvgLat().Nanoseconds(), mon.MaxLat.Nanoseconds()
+	m := hmcsim.Streams{Label: "qos", Traces: traces}.Run(sys)
+	sensitive := m.Ports[3]
+	return sensitive.AvgLatNs, sensitive.MaxLatNs
 }
 
 func main() {

@@ -1,45 +1,45 @@
 // Quickstart: build the AC-510 + HMC 1.1 system, blast it with random
-// reads from all nine GUPS ports, and print what the monitoring logic
-// sees. This is the smallest end-to-end use of the library.
+// reads from all nine GUPS ports via the public Workload API, and print
+// what the monitoring logic sees. This is the smallest end-to-end use
+// of the library.
 package main
 
 import (
 	"fmt"
 
-	"hmcsim/internal/core"
-	"hmcsim/internal/sim"
+	"hmcsim"
 )
 
 func main() {
-	sys := core.NewSystem(core.DefaultConfig())
+	sys := hmcsim.NewSystem(hmcsim.DefaultConfig())
 
-	res := sys.RunGUPS(core.GUPSSpec{
+	m := hmcsim.GUPS{
 		Ports:   9,                // all nine FPGA ports
 		Size:    128,              // 128 B read requests
-		Pattern: core.AllVaults(), // random over the whole 4 GB cube
-		Warmup:  30 * sim.Microsecond,
-		Window:  100 * sim.Microsecond,
-	})
+		Pattern: hmcsim.AllVaults, // random over the whole 4 GB cube
+		Warmup:  30 * hmcsim.Microsecond,
+		Window:  100 * hmcsim.Microsecond,
+	}.Run(sys)
 
 	fmt.Println("HMC 1.1 under full random read load:")
-	fmt.Printf("  reads completed:      %d in %v\n", res.Reads, res.Window)
-	fmt.Printf("  counted bandwidth:    %v (request+response bytes)\n", res.Bandwidth)
+	fmt.Printf("  reads completed:      %d in %.0f us\n", m.Reads, m.WindowNs/1000)
+	fmt.Printf("  counted bandwidth:    %.2f GB/s (request+response bytes)\n", m.GBps)
 	fmt.Printf("  read latency:         avg %.0f ns  min %.0f ns  max %.0f ns\n",
-		res.AvgLat.Nanoseconds(), res.MinLat.Nanoseconds(), res.MaxLat.Nanoseconds())
+		m.AvgLatNs, m.MinLatNs, m.MaxLatNs)
 	fmt.Printf("  in-flight inside cube: %.0f transactions (time-averaged)\n",
-		res.HMCOutstanding)
+		m.HMCOutstanding)
 
 	// The same traffic confined to a single vault hits the ~10 GB/s
 	// internal vault bandwidth instead of the external link ceiling.
-	sys2 := core.NewSystem(core.DefaultConfig())
-	one := sys2.RunGUPS(core.GUPSSpec{
+	sys2 := hmcsim.NewSystem(hmcsim.DefaultConfig())
+	one := hmcsim.GUPS{
 		Ports:   9,
 		Size:    128,
-		Pattern: sys2.Vaults(1),
-		Warmup:  30 * sim.Microsecond,
-		Window:  100 * sim.Microsecond,
-	})
+		Pattern: hmcsim.PatternSpec{Name: "1 vault", Vaults: 1},
+		Warmup:  30 * hmcsim.Microsecond,
+		Window:  100 * hmcsim.Microsecond,
+	}.Run(sys2)
 	fmt.Println("\nSame load confined to one vault:")
-	fmt.Printf("  counted bandwidth:    %v (vault TSV bound)\n", one.Bandwidth)
-	fmt.Printf("  read latency:         avg %.0f ns\n", one.AvgLat.Nanoseconds())
+	fmt.Printf("  counted bandwidth:    %.2f GB/s (vault TSV bound)\n", one.GBps)
+	fmt.Printf("  read latency:         avg %.0f ns\n", one.AvgLatNs)
 }

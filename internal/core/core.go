@@ -1,18 +1,25 @@
-// Package core is the public face of the reproduction: it assembles the
-// host FPGA model and the HMC cube into a System and provides the two
-// experiment drivers the paper uses — free-running GUPS traffic and
-// finite multi-port streams — returning the same statistics the paper's
-// monitoring logic reports (access counts, min/avg/max read latency, and
-// counted request+response bandwidth).
+// Package core assembles the host FPGA model and the HMC cube into a
+// System and provides the two low-level experiment drivers the paper
+// uses — free-running GUPS traffic and finite multi-port streams —
+// returning the same statistics the paper's monitoring logic reports
+// (access counts, min/avg/max read latency, and counted
+// request+response bandwidth).
 //
-// Typical use:
+// Deprecated entry point: core used to be the repository's public face.
+// New code should use the top-level hmcsim package — its Workload
+// adapters (hmcsim.GUPS, hmcsim.Streams, hmcsim.TraceReplay) wrap the
+// drivers here, hmcsim.System embeds *core.System, and experiments
+// register as hmcsim.Runners in internal/exp. RunGUPS and PlayStreams
+// remain as the engine layer those adapters call into.
 //
-//	sys := core.NewSystem(core.DefaultConfig())
-//	res := sys.RunGUPS(core.GUPSSpec{
-//	    Ports: 9, Size: 128, Pattern: core.AllVaults(),
-//	    Warmup: 20 * sim.Microsecond, Window: 200 * sim.Microsecond,
-//	})
-//	fmt.Println(res.Bandwidth, res.AvgLat)
+// Typical use (via the public API):
+//
+//	sys := hmcsim.NewSystem(hmcsim.DefaultConfig())
+//	m := hmcsim.GUPS{
+//	    Ports: 9, Size: 128, Pattern: hmcsim.AllVaults,
+//	    Warmup: 20 * hmcsim.Microsecond, Window: 200 * hmcsim.Microsecond,
+//	}.Run(sys)
+//	fmt.Println(m.GBps, m.AvgLatNs)
 package core
 
 import (

@@ -3,18 +3,26 @@ package exp
 import (
 	"fmt"
 
-	"hmcsim/internal/core"
-	"hmcsim/internal/ddr"
-	"hmcsim/internal/host"
-	"hmcsim/internal/sim"
+	"hmcsim"
 	"hmcsim/internal/stats"
 )
+
+// BackendPoint is one device's row of the comparison sweep.
+type BackendPoint struct {
+	Backend    string
+	IdleLatNs  float64
+	RandomGBps float64
+}
 
 // DDRComparisonResult backs the paper's qualitative claims against
 // traditional DDRx: the HMC's packetized path has a higher idle latency
 // than a synchronous DDR channel, but vastly higher bandwidth under
 // parallel random traffic.
 type DDRComparisonResult struct {
+	// Backends holds one row per compared device, in
+	// hmcsim.ComparisonBackends order (DDR first).
+	Backends []BackendPoint
+
 	DDRIdleLatNs float64
 	HMCIdleLatNs float64 // device-only latency (excluding host FPGA floor)
 
@@ -26,72 +34,25 @@ type DDRComparisonResult struct {
 	HMCInternalGBps float64
 }
 
-// DDRComparison measures both systems on the same workloads.
+// DDRComparison measures every comparison backend on the same 64 B
+// workloads — a plain sweep over the hmcsim.Backend list.
 func DDRComparison(o Options) DDRComparisonResult {
-	var res DDRComparisonResult
-
-	// Idle latency: single 64 B read.
-	{
-		eng := sim.NewEngine()
-		c := ddr.New(eng, ddr.DefaultConfig())
-		eng.Schedule(0, func() {
-			c.TryAccess(&ddr.Request{Addr: 0x40, Size: 64}, func(r *ddr.Request) {
-				res.DDRIdleLatNs = r.Done.Nanoseconds()
-			})
-		})
-		eng.Drain()
-	}
-	{
-		sys := o.newSystem()
-		trace := sys.RandomTrace(1, 64, sys.SingleVault(0), 1)
-		ports := sys.PlayStreams([][]host.Request{trace})
-		// Device latency = measured round trip minus the fixed FPGA
-		// pipeline, exactly how the paper isolates the 100-180 ns HMC
-		// contribution from the 547 ns infrastructure floor.
-		floor := sys.Cfg.Host.TxLatency + sys.Cfg.Host.RxLatency
-		res.HMCIdleLatNs = (ports[0].Mon.AvgLat() - floor).Nanoseconds()
-	}
-
-	// Loaded random bandwidth: data bytes per second.
-	{
-		eng := sim.NewEngine()
-		c := ddr.New(eng, ddr.DefaultConfig())
-		rng := sim.NewRand(o.Seed + 9)
-		completed := 0
-		n := 20000
-		if o.Quick {
-			n = 5000
+	backends := hmcsim.ComparisonBackends()
+	rows := hmcsim.Sweep(o.Workers, len(backends), func(i int) BackendPoint {
+		b := backends[i]
+		return BackendPoint{
+			Backend:    b.Name(),
+			IdleLatNs:  b.IdleLatencyNs(o, 64),
+			RandomGBps: b.RandomReadGBps(o, 64),
 		}
-		var issue func(i int)
-		issue = func(i int) {
-			if i >= n {
-				return
-			}
-			req := &ddr.Request{Addr: rng.Uint64() & (1<<32 - 1) &^ 63, Size: 64}
-			if !c.TryAccess(req, func(*ddr.Request) { completed++ }) {
-				c.Notify(func() { issue(i) })
-				return
-			}
-			issue(i + 1)
-		}
-		eng.Schedule(0, func() { issue(0) })
-		eng.Drain()
-		res.DDRRandomGBps = float64(completed*64) / eng.Now().Seconds() / 1e9
-	}
-	{
-		sys := o.newSystem()
-		r := sys.RunGUPS(core.GUPSSpec{
-			Ports: 9, Size: 64, Pattern: core.AllVaults(),
-			Warmup: o.warmup(), Window: o.window(),
-		})
-		res.HMCRandomGBps = float64(r.Reads*64) / r.Window.Seconds() / 1e9
-		res.HMCInternalGBps = 16 * sys.Cfg.HMC.Vault.TSVBandwidth.GBpsValue()
-	}
+	})
+	res := DDRComparisonResult{Backends: rows}
+	// Legacy headline fields: the sweep order is DDR first, HMC second.
+	res.DDRIdleLatNs, res.DDRRandomGBps = rows[0].IdleLatNs, rows[0].RandomGBps
+	res.HMCIdleLatNs, res.HMCRandomGBps = rows[1].IdleLatNs, rows[1].RandomGBps
+	res.HMCInternalGBps = hmcsim.HMCDevice{}.InternalGBps()
 	return res
 }
-
-// packet2 avoids importing packet twice under different names.
-type packet2 = transaction
 
 func (r DDRComparisonResult) String() string {
 	t := table{header: []string{"Metric", "DDR3-1600 channel", "HMC 1.1 (device)"}}
@@ -110,6 +71,20 @@ func (r DDRComparisonResult) String() string {
 	}
 	return fmt.Sprintf("DDR baseline comparison (HMC random-bandwidth advantage: %.1fx)\n%s",
 		speedup, t.String())
+}
+
+// Result converts to the structured form: idle latency and random
+// bandwidth per backend, plus the cube-internal ceiling.
+func (r DDRComparisonResult) Result() hmcsim.Result {
+	idle := hmcsim.Series{Name: "idle-latency", Unit: "ns"}
+	random := hmcsim.Series{Name: "random-read-bandwidth", Unit: "GB/s"}
+	for _, row := range r.Backends {
+		idle.Points = append(idle.Points, hmcsim.Point{Label: row.Backend, X: 64, Y: row.IdleLatNs})
+		random.Points = append(random.Points, hmcsim.Point{Label: row.Backend, X: 64, Y: row.RandomGBps})
+	}
+	internal := hmcsim.Series{Name: "hmc-internal-bandwidth", Unit: "GB/s",
+		Points: []hmcsim.Point{{Label: "HMC 1.1 (16 vaults)", X: 64, Y: r.HMCInternalGBps}}}
+	return hmcsim.Result{Series: []hmcsim.Series{idle, random, internal}, Text: r.String()}
 }
 
 // Correlation quantifies the Figure 12 claim that vault position barely

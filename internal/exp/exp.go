@@ -2,8 +2,12 @@
 // evaluation (Section IV). Each runner builds fresh systems from a base
 // configuration, drives the same workloads the paper describes, and
 // returns a typed result whose String method prints the rows or series
-// the paper reports. The bench harness in the repository root and the
-// hmcsim CLI both call into this package.
+// the paper reports.
+//
+// Every runner also registers itself (see registry.go) as a named
+// hmcsim.Runner returning a structured, JSON-marshalable hmcsim.Result;
+// the hmcsim CLI and the bench harness iterate that registry rather
+// than hard-coding the experiment list.
 package exp
 
 import (
@@ -11,82 +15,24 @@ import (
 	"sort"
 	"strings"
 
-	"hmcsim/internal/core"
-	"hmcsim/internal/packet"
-	"hmcsim/internal/sim"
+	"hmcsim"
 )
 
 // Sizes are the request sizes every experiment sweeps (Table I).
 var Sizes = []int{16, 32, 64, 128}
 
-// Options tune how much work the runners do. The zero value is the full
-// paper-fidelity configuration; Quick cuts windows and sample counts for
-// use inside `go test -bench`.
-type Options struct {
-	Quick bool
-	// Seed perturbs all workload RNGs, letting the benches check that
-	// conclusions are seed-stable.
-	Seed uint64
-}
+// Options tune how much work the runners do; it is the public
+// hmcsim.Options (Quick, Seed, Workers). The zero value is the full
+// paper-fidelity configuration run sequentially-or-parallel per
+// runtime.NumCPU().
+type Options = hmcsim.Options
 
-func (o Options) warmup() sim.Time {
-	if o.Quick {
-		return 15 * sim.Microsecond
-	}
-	return 30 * sim.Microsecond
-}
-
-func (o Options) window() sim.Time {
-	if o.Quick {
-		return 40 * sim.Microsecond
-	}
-	return 120 * sim.Microsecond
-}
-
-// newSystem builds a default system with the option seed applied.
-func (o Options) newSystem() *core.System {
-	cfg := core.DefaultConfig()
-	if o.Seed != 0 {
-		cfg.Seed = o.Seed
-	}
-	return core.NewSystem(cfg)
-}
-
-// PatternSpec names one of the paper's access patterns in the order the
-// figures present them: banks within vault 0, then vault groups.
-type PatternSpec struct {
-	Name   string
-	Banks  int // >0: confined to this many banks of vault 0
-	Vaults int // >0: confined to this many vaults
-}
+// PatternSpec names one of the paper's access patterns structurally; it
+// is the public hmcsim.PatternSpec.
+type PatternSpec = hmcsim.PatternSpec
 
 // Patterns is the pattern sweep of Figures 6 and 13.
-var Patterns = []PatternSpec{
-	{Name: "1 bank", Banks: 1},
-	{Name: "2 banks", Banks: 2},
-	{Name: "4 banks", Banks: 4},
-	{Name: "8 banks", Banks: 8},
-	{Name: "1 vault", Vaults: 1},
-	{Name: "2 vaults", Vaults: 2},
-	{Name: "4 vaults", Vaults: 4},
-	{Name: "8 vaults", Vaults: 8},
-	{Name: "16 vaults", Vaults: 16},
-}
-
-// Build materializes the pattern against a system's address mapping.
-func (p PatternSpec) Build(sys *core.System) core.Pattern {
-	switch {
-	case p.Banks > 0:
-		pat := sys.Banks(p.Banks)
-		pat.Name = p.Name
-		return pat
-	case p.Vaults > 0:
-		pat := sys.Vaults(p.Vaults)
-		pat.Name = p.Name
-		return pat
-	}
-	panic(fmt.Sprintf("exp: empty pattern spec %+v", p))
-}
+var Patterns = hmcsim.Patterns
 
 // table is a tiny fixed-width text table builder shared by the results.
 type table struct {
@@ -140,6 +86,3 @@ func sortedKeys[V any](m map[int]V) []int {
 	sort.Ints(out)
 	return out
 }
-
-// transaction aliases the packet transaction for result hooks.
-type transaction = packet.Transaction

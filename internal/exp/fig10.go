@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 
+	"hmcsim"
 	"hmcsim/internal/addr"
 	"hmcsim/internal/host"
 	"hmcsim/internal/stats"
@@ -48,9 +49,16 @@ func Fig10(o Options) VaultComboResult {
 		n = 128
 	}
 	res := VaultComboResult{SamplesByVault: map[int][][]float64{}}
-	for _, size := range Sizes {
-		perVault := make([][]float64, addr.Vaults)
-		sys := o.newSystem()
+	// One shared system per size replays every combination; the sizes
+	// are independent systems and fan out across workers.
+	type sizeRun struct {
+		perVault [][]float64
+		combos   int
+	}
+	perSize := hmcsim.Sweep(o.Workers, len(Sizes), func(si int) sizeRun {
+		size := Sizes[si]
+		run := sizeRun{perVault: make([][]float64, addr.Vaults)}
+		sys := o.NewSystem()
 		for ci := 0; ci < len(combos); ci += stride {
 			combo := combos[ci]
 			// Every port spreads its reads over the whole four-vault
@@ -70,13 +78,16 @@ func Fig10(o Options) VaultComboResult {
 			}
 			avg := agg / float64(reads)
 			for _, v := range combo {
-				perVault[v] = append(perVault[v], avg)
+				run.perVault[v] = append(run.perVault[v], avg)
 			}
-			res.Combos++
+			run.combos++
 		}
-		res.SamplesByVault[size] = perVault
+		return run
+	})
+	for si, size := range Sizes {
+		res.SamplesByVault[size] = perSize[si].perVault
 	}
-	res.Combos /= len(Sizes)
+	res.Combos = perSize[0].combos
 	return res
 }
 
@@ -192,4 +203,22 @@ func (r VaultComboResult) String() string {
 			size, r.TransposeHeatmap(size).Render())
 	}
 	return out
+}
+
+// Result converts to the structured form: per-size summary statistics
+// plus the vault-position correlation, the paper's headline claim.
+func (r VaultComboResult) Result() hmcsim.Result {
+	mean := hmcsim.Series{Name: "mean-latency", Unit: "ns"}
+	sigma := hmcsim.Series{Name: "stddev-latency", Unit: "ns"}
+	span := hmcsim.Series{Name: "range-latency", Unit: "ns"}
+	corr := hmcsim.Series{Name: "vault-position-correlation", Unit: "pearson"}
+	for _, size := range Sizes {
+		m, s := r.Stats(size)
+		x := float64(size)
+		mean.Points = append(mean.Points, hmcsim.Point{X: x, Y: m})
+		sigma.Points = append(sigma.Points, hmcsim.Point{X: x, Y: s})
+		span.Points = append(span.Points, hmcsim.Point{X: x, Y: r.Range(size)})
+		corr.Points = append(corr.Points, hmcsim.Point{X: x, Y: r.Correlation(size)})
+	}
+	return hmcsim.Result{Series: []hmcsim.Series{mean, sigma, span, corr}, Text: r.String()}
 }

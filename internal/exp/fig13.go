@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 
+	"hmcsim"
 	"hmcsim/internal/core"
 )
 
@@ -33,31 +34,41 @@ func Fig13(o Options) Fig13Result {
 	if o.Quick {
 		ports = []int{1, 3, 5, 7, 9}
 	}
-	var res Fig13Result
+	type job struct {
+		size int
+		ps   PatternSpec
+		np   int
+	}
+	var jobs []job
 	for _, size := range Sizes {
 		for _, ps := range Patterns {
 			for _, np := range ports {
-				sys := o.newSystem()
-				r := sys.RunGUPS(core.GUPSSpec{
-					Ports:   np,
-					Size:    size,
-					Pattern: ps.Build(sys),
-					Warmup:  o.warmup(),
-					Window:  o.window(),
-				})
-				res.Points = append(res.Points, Fig13Point{
-					Size:     size,
-					Pattern:  ps.Name,
-					Ports:    np,
-					GBps:     r.Bandwidth.GBpsValue(),
-					AvgLatNs: r.AvgLat.Nanoseconds(),
-					AvgHMCNs: r.AvgHMCLat.Nanoseconds(),
-					ReadRate: r.ReadRate(),
-					HMCOutst: r.HMCOutstanding,
-				})
+				jobs = append(jobs, job{size, ps, np})
 			}
 		}
 	}
+	points := hmcsim.Sweep(o.Workers, len(jobs), func(i int) Fig13Point {
+		j := jobs[i]
+		sys := o.NewSystem()
+		r := sys.RunGUPS(core.GUPSSpec{
+			Ports:   j.np,
+			Size:    j.size,
+			Pattern: j.ps.Build(sys),
+			Warmup:  o.Warmup(),
+			Window:  o.Window(),
+		})
+		return Fig13Point{
+			Size:     j.size,
+			Pattern:  j.ps.Name,
+			Ports:    j.np,
+			GBps:     r.Bandwidth.GBpsValue(),
+			AvgLatNs: r.AvgLat.Nanoseconds(),
+			AvgHMCNs: r.AvgHMCLat.Nanoseconds(),
+			ReadRate: r.ReadRate(),
+			HMCOutst: r.HMCOutstanding,
+		}
+	})
+	res := Fig13Result{Points: points}
 	res.markSaturation()
 	return res
 }
@@ -129,4 +140,21 @@ func (r Fig13Result) String() string {
 		out += fmt.Sprintf("Figure 13 (%dB): bandwidth (GB/s) vs active ports (* = saturated)\n%s\n", size, t.String())
 	}
 	return out
+}
+
+// Result converts to the structured form: one bandwidth series with
+// points labeled "pattern/sizeB" and X = active ports, plus matching
+// latency and occupancy series.
+func (r Fig13Result) Result() hmcsim.Result {
+	bw := hmcsim.Series{Name: "bandwidth", Unit: "GB/s"}
+	lat := hmcsim.Series{Name: "avg-latency", Unit: "ns"}
+	outst := hmcsim.Series{Name: "hmc-outstanding", Unit: "transactions"}
+	for _, p := range r.Points {
+		label := fmt.Sprintf("%s/%dB", p.Pattern, p.Size)
+		x := float64(p.Ports)
+		bw.Points = append(bw.Points, hmcsim.Point{Label: label, X: x, Y: p.GBps})
+		lat.Points = append(lat.Points, hmcsim.Point{Label: label, X: x, Y: p.AvgLatNs})
+		outst.Points = append(outst.Points, hmcsim.Point{Label: label, X: x, Y: p.HMCOutst})
+	}
+	return hmcsim.Result{Series: []hmcsim.Series{bw, lat, outst}, Text: r.String()}
 }

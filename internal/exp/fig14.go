@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 
+	"hmcsim"
 	"hmcsim/internal/core"
 	"hmcsim/internal/stats"
 )
@@ -31,27 +32,24 @@ type Fig14Result struct {
 // outstanding requests, and observe the roughly linear growth with bank
 // count that implies a queue per bank in the vault controller.
 func Fig14(o Options) Fig14Result {
-	var res Fig14Result
-	for _, banks := range []int{2, 4} {
-		for _, size := range Sizes {
-			sys := o.newSystem()
-			pat := sys.Banks(banks)
-			r := sys.RunGUPS(core.GUPSSpec{
-				Ports:   9,
-				Size:    size,
-				Pattern: pat,
-				Warmup:  o.warmup() * 2, // bank queues take longer to fill
-				Window:  o.window(),
-			})
-			res.Points = append(res.Points, Fig14Point{
-				Banks:    banks,
-				Size:     size,
-				LittleN:  stats.Little(r.ReadRate(), r.AvgHMCLat.Seconds()),
-				SampledN: r.HMCOutstanding,
-			})
+	points := hmcsim.Sweep2(o.Workers, []int{2, 4}, Sizes, func(banks, size int) Fig14Point {
+		sys := o.NewSystem()
+		pat := sys.Banks(banks)
+		r := sys.RunGUPS(core.GUPSSpec{
+			Ports:   9,
+			Size:    size,
+			Pattern: pat,
+			Warmup:  o.Warmup() * 2, // bank queues take longer to fill
+			Window:  o.Window(),
+		})
+		return Fig14Point{
+			Banks:    banks,
+			Size:     size,
+			LittleN:  stats.Little(r.ReadRate(), r.AvgHMCLat.Seconds()),
+			SampledN: r.HMCOutstanding,
 		}
-	}
-	return res
+	})
+	return Fig14Result{Points: points}
 }
 
 // Average returns the mean LittleN across sizes for a bank count, the
@@ -92,4 +90,18 @@ func (r Fig14Result) String() string {
 	return fmt.Sprintf(
 		"Figure 14: estimated outstanding requests (avg: 2 banks=%.0f, 4 banks=%.0f)\n%s",
 		r.Average(2), r.Average(4), t.String())
+}
+
+// Result converts to the structured form: the Little's-law estimate and
+// the simulator's sampled ground truth, labeled by bank count with
+// X = request size.
+func (r Fig14Result) Result() hmcsim.Result {
+	little := hmcsim.Series{Name: "little-outstanding", Unit: "transactions"}
+	sampled := hmcsim.Series{Name: "sampled-outstanding", Unit: "transactions"}
+	for _, p := range r.Points {
+		label := fmt.Sprintf("%dbanks", p.Banks)
+		little.Points = append(little.Points, hmcsim.Point{Label: label, X: float64(p.Size), Y: p.LittleN})
+		sampled.Points = append(sampled.Points, hmcsim.Point{Label: label, X: float64(p.Size), Y: p.SampledN})
+	}
+	return hmcsim.Result{Series: []hmcsim.Series{little, sampled}, Text: r.String()}
 }

@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 
+	"hmcsim"
 	"hmcsim/internal/core"
 )
 
@@ -25,31 +26,29 @@ type Fig6Result struct {
 
 // Fig6 sweeps every access pattern and request size with nine GUPS ports
 // issuing read-only random traffic, reproducing the latency-vs-bandwidth
-// scatter of Figure 6.
+// scatter of Figure 6. Each (size, pattern) cell is an independent
+// system, so the sweep fans out across workers.
 func Fig6(o Options) Fig6Result {
-	var res Fig6Result
-	for _, size := range Sizes {
-		for _, ps := range Patterns {
-			sys := o.newSystem()
-			r := sys.RunGUPS(core.GUPSSpec{
-				Ports:   9,
-				Size:    size,
-				Pattern: ps.Build(sys),
-				Warmup:  o.warmup(),
-				Window:  o.window(),
-			})
-			res.Points = append(res.Points, Fig6Point{
-				Pattern:   ps.Name,
-				Size:      size,
-				GBps:      r.Bandwidth.GBpsValue(),
-				AvgLatNs:  r.AvgLat.Nanoseconds(),
-				MinLatNs:  r.MinLat.Nanoseconds(),
-				MaxLatNs:  r.MaxLat.Nanoseconds(),
-				ReadsPerS: r.ReadRate(),
-			})
+	points := hmcsim.Sweep2(o.Workers, Sizes, Patterns, func(size int, ps PatternSpec) Fig6Point {
+		sys := o.NewSystem()
+		r := sys.RunGUPS(core.GUPSSpec{
+			Ports:   9,
+			Size:    size,
+			Pattern: ps.Build(sys),
+			Warmup:  o.Warmup(),
+			Window:  o.Window(),
+		})
+		return Fig6Point{
+			Pattern:   ps.Name,
+			Size:      size,
+			GBps:      r.Bandwidth.GBpsValue(),
+			AvgLatNs:  r.AvgLat.Nanoseconds(),
+			MinLatNs:  r.MinLat.Nanoseconds(),
+			MaxLatNs:  r.MaxLat.Nanoseconds(),
+			ReadsPerS: r.ReadRate(),
 		}
-	}
-	return res
+	})
+	return Fig6Result{Points: points}
 }
 
 // Point returns the entry for a pattern/size pair.
@@ -72,4 +71,19 @@ func (r Fig6Result) String() string {
 			fmt.Sprintf("%.0f", p.MaxLatNs))
 	}
 	return "Figure 6: read latency vs bi-directional bandwidth per access pattern\n" + t.String()
+}
+
+// Result converts to the structured form: one series per metric, points
+// labeled by pattern with X = request size.
+func (r Fig6Result) Result() hmcsim.Result {
+	bw := hmcsim.Series{Name: "bandwidth", Unit: "GB/s"}
+	avg := hmcsim.Series{Name: "avg-latency", Unit: "ns"}
+	max := hmcsim.Series{Name: "max-latency", Unit: "ns"}
+	for _, p := range r.Points {
+		x := float64(p.Size)
+		bw.Points = append(bw.Points, hmcsim.Point{Label: p.Pattern, X: x, Y: p.GBps})
+		avg.Points = append(avg.Points, hmcsim.Point{Label: p.Pattern, X: x, Y: p.AvgLatNs})
+		max.Points = append(max.Points, hmcsim.Point{Label: p.Pattern, X: x, Y: p.MaxLatNs})
+	}
+	return hmcsim.Result{Series: []hmcsim.Series{bw, avg, max}, Text: r.String()}
 }

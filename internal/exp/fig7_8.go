@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 
+	"hmcsim"
 	"hmcsim/internal/addr"
 	"hmcsim/internal/host"
 )
@@ -57,11 +58,13 @@ func lowLoad(o Options, figure string, ns []int) LowLoadResult {
 	if o.Quick {
 		vaults = 4
 	}
-	for _, size := range Sizes {
-		// One system per size; bursts replay back-to-back on one port,
-		// each fully draining before the next starts, as the multi-port
-		// stream software does.
-		sys := o.newSystem()
+	// One system per size; bursts replay back-to-back on one port, each
+	// fully draining before the next starts, as the multi-port stream
+	// software does. Sizes are independent systems, so they fan out.
+	perSize := hmcsim.Sweep(o.Workers, len(Sizes), func(si int) []LowLoadPoint {
+		size := Sizes[si]
+		sys := o.NewSystem()
+		points := make([]LowLoadPoint, 0, len(ns))
 		for _, n := range ns {
 			var agg, max float64
 			for v := 0; v < vaults; v++ {
@@ -73,13 +76,17 @@ func lowLoad(o Options, figure string, ns []int) LowLoadResult {
 					max = m
 				}
 			}
-			res.Points = append(res.Points, LowLoadPoint{
+			points = append(points, LowLoadPoint{
 				Size:     size,
 				N:        n,
 				AvgLatNs: agg / float64(vaults),
 				MaxLatNs: max,
 			})
 		}
+		return points
+	})
+	for _, pts := range perSize {
+		res.Points = append(res.Points, pts...)
 	}
 	return res
 }
@@ -124,4 +131,17 @@ func (r LowLoadResult) String() string {
 			fmt.Sprintf("%.0f", e[2]), fmt.Sprintf("%.0f", e[3]))
 	}
 	return r.Figure + ": average low-load latency vs stream length\n" + t.String()
+}
+
+// Result converts to the structured form: latency series with points
+// labeled by request size and X = stream length.
+func (r LowLoadResult) Result() hmcsim.Result {
+	avg := hmcsim.Series{Name: "avg-latency", Unit: "ns"}
+	max := hmcsim.Series{Name: "max-latency", Unit: "ns"}
+	for _, p := range r.Points {
+		label := fmt.Sprintf("%dB", p.Size)
+		avg.Points = append(avg.Points, hmcsim.Point{Label: label, X: float64(p.N), Y: p.AvgLatNs})
+		max.Points = append(max.Points, hmcsim.Point{Label: label, X: float64(p.N), Y: p.MaxLatNs})
+	}
+	return hmcsim.Result{Series: []hmcsim.Series{avg, max}, Text: r.String()}
 }

@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 
+	"hmcsim"
 	"hmcsim/internal/addr"
 	"hmcsim/internal/host"
 )
@@ -29,42 +30,48 @@ type Fig9Result struct {
 // maximum latency jumps; elsewhere it varies with NoC position and
 // traffic interleaving.
 func Fig9(o Options) Fig9Result {
-	var res Fig9Result
 	n := 600
 	if o.Quick {
 		n = 200
 	}
 	sweep := addr.Vaults
-	for _, pinned := range []int{1, 5} {
-		for _, size := range Sizes {
-			sys := o.newSystem()
-			for sv := 0; sv < sweep; sv++ {
-				traces := make([][]host.Request, 4)
-				for i := 0; i < 3; i++ {
-					traces[i] = sys.RandomTrace(n, size, sys.SingleVault(pinned),
-						o.Seed+uint64(i*37+sv))
-				}
-				traces[3] = sys.RandomTrace(n, size, sys.SingleVault(sv),
-					o.Seed+uint64(991+sv))
-				ports := sys.PlayStreams(traces)
-				var max, agg float64
-				var reads uint64
-				for _, p := range ports {
-					if m := p.Mon.MaxLat.Nanoseconds(); m > max {
-						max = m
-					}
-					agg += p.Mon.AggLat.Nanoseconds()
-					reads += p.Mon.Reads
-				}
-				res.Points = append(res.Points, Fig9Point{
-					PinnedVault: pinned,
-					SweepVault:  sv,
-					Size:        size,
-					MaxLatNs:    max,
-					AvgLatNs:    agg / float64(reads),
-				})
+	pinnedVaults := []int{1, 5}
+	// Each (pinned, size) pair replays its sixteen sweep positions on
+	// one shared system; the pairs themselves are independent.
+	perJob := hmcsim.Sweep2(o.Workers, pinnedVaults, Sizes, func(pinned, size int) []Fig9Point {
+		sys := o.NewSystem()
+		points := make([]Fig9Point, 0, sweep)
+		for sv := 0; sv < sweep; sv++ {
+			traces := make([][]host.Request, 4)
+			for i := 0; i < 3; i++ {
+				traces[i] = sys.RandomTrace(n, size, sys.SingleVault(pinned),
+					o.Seed+uint64(i*37+sv))
 			}
+			traces[3] = sys.RandomTrace(n, size, sys.SingleVault(sv),
+				o.Seed+uint64(991+sv))
+			ports := sys.PlayStreams(traces)
+			var max, agg float64
+			var reads uint64
+			for _, p := range ports {
+				if m := p.Mon.MaxLat.Nanoseconds(); m > max {
+					max = m
+				}
+				agg += p.Mon.AggLat.Nanoseconds()
+				reads += p.Mon.Reads
+			}
+			points = append(points, Fig9Point{
+				PinnedVault: pinned,
+				SweepVault:  sv,
+				Size:        size,
+				MaxLatNs:    max,
+				AvgLatNs:    agg / float64(reads),
+			})
 		}
+		return points
+	})
+	var res Fig9Result
+	for _, pts := range perJob {
+		res.Points = append(res.Points, pts...)
 	}
 	return res
 }
@@ -123,4 +130,29 @@ func (r Fig9Result) String() string {
 		out += fmt.Sprintf("Figure 9: maximum latency, 3 ports pinned to vault %d (* = collision)\n%s\n", pinned, t.String())
 	}
 	return out
+}
+
+// Result converts to the structured form: max-latency series with
+// points labeled "pinnedN/sizeB" and X = sweep vault, plus the derived
+// collision penalties.
+func (r Fig9Result) Result() hmcsim.Result {
+	max := hmcsim.Series{Name: "max-latency", Unit: "ns"}
+	for _, p := range r.Points {
+		max.Points = append(max.Points, hmcsim.Point{
+			Label: fmt.Sprintf("pinned%d/%dB", p.PinnedVault, p.Size),
+			X:     float64(p.SweepVault),
+			Y:     p.MaxLatNs,
+		})
+	}
+	pen := hmcsim.Series{Name: "collision-penalty", Unit: "x"}
+	for _, pinned := range []int{1, 5} {
+		for _, size := range Sizes {
+			pen.Points = append(pen.Points, hmcsim.Point{
+				Label: fmt.Sprintf("pinned%d", pinned),
+				X:     float64(size),
+				Y:     r.CollisionPenalty(pinned, size),
+			})
+		}
+	}
+	return hmcsim.Result{Series: []hmcsim.Series{max, pen}, Text: r.String()}
 }

@@ -1,0 +1,114 @@
+package exp
+
+import (
+	"fmt"
+
+	"hmcsim"
+)
+
+// Meta describes a registered experiment for listings and result
+// titles.
+type Meta struct {
+	// Title is the human headline, e.g. "Figure 6: read latency vs
+	// bandwidth per access pattern".
+	Title string
+}
+
+// entry implements hmcsim.Runner for one registered experiment.
+type entry struct {
+	name string
+	meta Meta
+	fn   func(Options) hmcsim.Result
+}
+
+func (e entry) Name() string     { return e.name }
+func (e entry) Describe() string { return e.meta.Title }
+
+// Run executes the experiment and stamps the registry metadata and the
+// options onto the result.
+func (e entry) Run(o Options) hmcsim.Result {
+	res := e.fn(o)
+	res.Name = e.name
+	res.Title = e.meta.Title
+	res.Options = o
+	return res
+}
+
+var (
+	registry []entry
+	byName   = map[string]int{}
+)
+
+// Register adds a named experiment. Names must be unique; registration
+// order is the presentation order of `-exp all`.
+func Register(name string, meta Meta, fn func(Options) hmcsim.Result) {
+	if _, dup := byName[name]; dup {
+		panic(fmt.Sprintf("exp: duplicate runner %q", name))
+	}
+	byName[name] = len(registry)
+	registry = append(registry, entry{name: name, meta: meta, fn: fn})
+}
+
+// Runners returns every registered experiment in registration order.
+func Runners() []hmcsim.Runner {
+	out := make([]hmcsim.Runner, len(registry))
+	for i, e := range registry {
+		out[i] = e
+	}
+	return out
+}
+
+// Names returns the registered names in registration order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.name
+	}
+	return out
+}
+
+// Runner looks one registered experiment up by name without running
+// it, so callers can validate a whole selection before starting work.
+func Runner(name string) (hmcsim.Runner, error) {
+	i, ok := byName[name]
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown experiment %q (have %v)", name, Names())
+	}
+	return registry[i], nil
+}
+
+// Run executes one registered experiment by name.
+func Run(name string, o Options) (hmcsim.Result, error) {
+	r, err := Runner(name)
+	if err != nil {
+		return hmcsim.Result{}, err
+	}
+	return r.Run(o), nil
+}
+
+// The paper's tables and figures, in presentation order. Each closure
+// defers to the typed runner and converts to the structured result, so
+// the typed APIs (Fig6, TableI, ...) remain available to tests that
+// assert on curve shapes.
+func init() {
+	Register("table1", Meta{Title: "Table I: HMC request/response read/write sizes"},
+		func(o Options) hmcsim.Result { return TableI().Result() })
+	Register("eq1", Meta{Title: "Equation 1: peak bi-directional link bandwidth"},
+		func(o Options) hmcsim.Result { return PeakBandwidth().Result() })
+	Register("fig6", Meta{Title: "Figure 6: read latency vs bi-directional bandwidth per access pattern"},
+		func(o Options) hmcsim.Result { return Fig6(o).Result() })
+	Register("fig7", Meta{Title: "Figure 7: low-load latency vs stream length (1-55)"},
+		func(o Options) hmcsim.Result { return Fig7(o).Result() })
+	Register("fig8", Meta{Title: "Figure 8: low-load latency vs stream length (1-350)"},
+		func(o Options) hmcsim.Result { return Fig8(o).Result() })
+	Register("fig9", Meta{Title: "Figure 9: QoS collision study, 3 pinned ports + 1 sweeping port"},
+		func(o Options) hmcsim.Result { return Fig9(o).Result() })
+	Register("fig10", Meta{Title: "Figures 10-12: four-vault combination latency study"},
+		func(o Options) hmcsim.Result { return Fig10(o).Result() })
+	Register("fig13", Meta{Title: "Figure 13: bandwidth vs active ports per access pattern"},
+		func(o Options) hmcsim.Result { return Fig13(o).Result() })
+	Register("fig14", Meta{Title: "Figure 14: outstanding requests via Little's law"},
+		func(o Options) hmcsim.Result { return Fig14(o).Result() })
+	Register("ddr", Meta{Title: "DDR3 baseline comparison (Section IV-B)"},
+		func(o Options) hmcsim.Result { return DDRComparison(o).Result() })
+}

@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"hmcsim"
+)
+
+// TestRegistryNames pins the registered set and its presentation order.
+func TestRegistryNames(t *testing.T) {
+	want := []string{"table1", "eq1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig13", "fig14", "ddr"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d runners %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("runner %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRunUnknown asserts experiment selection is an error, not an exit.
+func TestRunUnknown(t *testing.T) {
+	_, err := Run("fig99", Options{Quick: true})
+	if err == nil {
+		t.Fatal("Run(fig99) succeeded, want error")
+	}
+	if !strings.Contains(err.Error(), "fig99") {
+		t.Errorf("error %q does not name the unknown experiment", err)
+	}
+}
+
+// TestAllRunnersQuick runs every registered experiment through the
+// registry under quick options and checks each result is well-formed
+// and JSON-marshalable — the contract `hmcsim -exp all -format json`
+// relies on.
+func TestAllRunnersQuick(t *testing.T) {
+	o := Options{Quick: true}
+	for _, r := range Runners() {
+		res, err := Run(r.Name(), o)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+		if res.Name != r.Name() {
+			t.Errorf("%s: result name %q", r.Name(), res.Name)
+		}
+		if res.Title != r.Describe() {
+			t.Errorf("%s: result title %q != %q", r.Name(), res.Title, r.Describe())
+		}
+		if len(res.Series) == 0 {
+			t.Errorf("%s: no series", r.Name())
+		}
+		for _, s := range res.Series {
+			if len(s.Points) == 0 {
+				t.Errorf("%s: series %q empty", r.Name(), s.Name)
+			}
+		}
+		if res.String() == "" {
+			t.Errorf("%s: empty text rendering", r.Name())
+		}
+		blob, err := res.JSON()
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", r.Name(), err)
+		}
+		var back hmcsim.Result
+		if err := json.Unmarshal(blob, &back); err != nil {
+			t.Fatalf("%s: round-trip: %v", r.Name(), err)
+		}
+		if back.Name != res.Name || len(back.Series) != len(res.Series) {
+			t.Errorf("%s: JSON round-trip lost data", r.Name())
+		}
+	}
+}

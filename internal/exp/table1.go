@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 
+	"hmcsim"
 	"hmcsim/internal/packet"
 	"hmcsim/internal/phys"
 )
@@ -75,4 +76,37 @@ func (r PeakBandwidthResult) String() string {
 	return fmt.Sprintf(
 		"Equation 1: BWpeak = %d links x %d lanes/link x %.0f Gb/s x 2 duplex = %s",
 		r.Links, r.Lanes, r.LaneGbps, r.Peak)
+}
+
+// Result converts Table I to the structured form: packet sizes in flits
+// and the derived read efficiency, X = request size.
+func (r TableIResult) Result() hmcsim.Result {
+	mk := func(name, unit string, get func(TableIRow) float64) hmcsim.Series {
+		s := hmcsim.Series{Name: name, Unit: unit}
+		for _, row := range r.Rows {
+			s.Points = append(s.Points, hmcsim.Point{X: float64(row.Size), Y: get(row)})
+		}
+		return s
+	}
+	return hmcsim.Result{
+		Series: []hmcsim.Series{
+			mk("read-req-flits", "flits", func(r TableIRow) float64 { return float64(r.ReadReq) }),
+			mk("read-resp-flits", "flits", func(r TableIRow) float64 { return float64(r.ReadResp) }),
+			mk("write-req-flits", "flits", func(r TableIRow) float64 { return float64(r.WriteReq) }),
+			mk("write-resp-flits", "flits", func(r TableIRow) float64 { return float64(r.WriteResp) }),
+			mk("read-efficiency", "fraction", func(r TableIRow) float64 { return r.ReadEfficiency }),
+		},
+		Text: r.String(),
+	}
+}
+
+// Result converts Equation 1 to the structured form.
+func (r PeakBandwidthResult) Result() hmcsim.Result {
+	return hmcsim.Result{
+		Series: []hmcsim.Series{{
+			Name: "peak-bandwidth", Unit: "GB/s",
+			Points: []hmcsim.Point{{Label: "bi-directional", X: float64(r.Links), Y: r.Peak.GBpsValue()}},
+		}},
+		Text: r.String(),
+	}
 }

@@ -1,0 +1,60 @@
+package hmcsim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Sweep runs n independent jobs across workers goroutines and returns
+// their results in job order. workers <= 0 uses runtime.NumCPU();
+// workers == 1 runs inline with no goroutines.
+//
+// Each job must be self-contained — build its own System, derive its
+// seeds from the job index — so that results are bit-identical whatever
+// the worker count. Engines are single-threaded, so confining one
+// System per job keeps the whole sweep data-race-free without locks.
+func Sweep[T any](workers, n int, job func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := range out {
+			out[i] = job(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				out[i] = job(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Sweep2 runs the cross product of two dimensions, outer-major, and is
+// sugar for the common (size x pattern)-shaped experiment sweeps.
+func Sweep2[A, B, T any](workers int, as []A, bs []B, job func(a A, b B) T) []T {
+	return Sweep(workers, len(as)*len(bs), func(i int) T {
+		return job(as[i/len(bs)], bs[i%len(bs)])
+	})
+}
