@@ -3,16 +3,19 @@
 package hmcsim_test
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 
 	"hmcsim"
 )
 
+var ctx = context.Background()
+
 func TestSweepPreservesOrder(t *testing.T) {
 	for _, workers := range []int{0, 1, 3, 64} {
 		var calls atomic.Int64
-		out := hmcsim.Sweep(workers, 100, func(i int) int {
+		out := hmcsim.Sweep(ctx, workers, 100, func(i int) int {
 			calls.Add(1)
 			return i * i
 		})
@@ -25,15 +28,47 @@ func TestSweepPreservesOrder(t *testing.T) {
 			}
 		}
 	}
-	if got := hmcsim.Sweep(4, 0, func(int) int { return 1 }); got != nil {
+	if got := hmcsim.Sweep(ctx, 4, 0, func(int) int { return 1 }); got != nil {
 		t.Errorf("empty sweep returned %v", got)
+	}
+}
+
+func TestSweepCancellation(t *testing.T) {
+	// A sweep whose context is cancelled partway stops scheduling new
+	// jobs: the first job cancels the context, so with one worker the
+	// remaining 99 slots must keep their zero value.
+	cctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls atomic.Int64
+	out := hmcsim.Sweep(cctx, 1, 100, func(i int) int {
+		calls.Add(1)
+		cancel()
+		return i + 1
+	})
+	if calls.Load() != 1 {
+		t.Fatalf("cancelled sweep ran %d jobs, want 1", calls.Load())
+	}
+	if out[0] != 1 || out[99] != 0 {
+		t.Fatalf("partial results wrong: out[0]=%d out[99]=%d", out[0], out[99])
+	}
+
+	// A pre-cancelled context schedules nothing, whatever the fan-out.
+	for _, workers := range []int{1, 8} {
+		var n atomic.Int64
+		hmcsim.Sweep(cctx, workers, 50, func(i int) int {
+			n.Add(1)
+			return i
+		})
+		if n.Load() != 0 {
+			t.Errorf("workers=%d: pre-cancelled sweep ran %d jobs", workers, n.Load())
+		}
 	}
 }
 
 func TestSweep2CrossProduct(t *testing.T) {
 	as := []int{1, 2, 3}
 	bs := []string{"x", "y"}
-	got := hmcsim.Sweep2(2, as, bs, func(a int, b string) string {
+	got := hmcsim.Sweep2(ctx, 2, as, bs, func(a int, b string) string {
 		return string(rune('0'+a)) + b
 	})
 	want := []string{"1x", "1y", "2x", "2y", "3x", "3y"}

@@ -22,6 +22,7 @@ import (
 	"hmcsim/internal/sim"
 )
 
+// ctx is declared in api_test.go; both files share package hmcsim_test.
 var quick = exp.Options{Quick: true}
 
 // BenchmarkExperiments iterates the experiment registry, so newly
@@ -30,7 +31,7 @@ func BenchmarkExperiments(b *testing.B) {
 	for _, r := range exp.Runners() {
 		b.Run(r.Name(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res := r.Run(quick)
+				res := r.Run(ctx, quick)
 				if len(res.Series) == 0 {
 					b.Fatalf("%s: empty result", r.Name())
 				}
@@ -57,7 +58,7 @@ func TestBenchSweep(t *testing.T) {
 	}{Quick: true, Workers: runtime.NumCPU()}
 	for _, r := range exp.Runners() {
 		start := time.Now()
-		res := r.Run(quick)
+		res := r.Run(ctx, quick)
 		if res.Name != r.Name() {
 			t.Fatalf("runner %q produced result %q", r.Name(), res.Name)
 		}
@@ -93,7 +94,7 @@ func BenchmarkEq1PeakBandwidth(b *testing.B) {
 
 func BenchmarkFig6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := exp.Fig6(quick)
+		r := exp.Fig6(ctx, quick)
 		if p, ok := r.Point("16 vaults", 128); ok {
 			b.ReportMetric(p.GBps, "GB/s-spread128")
 			b.ReportMetric(p.AvgLatNs, "ns-spread128")
@@ -106,7 +107,7 @@ func BenchmarkFig6(b *testing.B) {
 
 func BenchmarkFig7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := exp.Fig7(quick)
+		r := exp.Fig7(ctx, quick)
 		if p, ok := r.Point(128, 55); ok {
 			b.ReportMetric(p.AvgLatNs, "ns-128B-n55")
 		}
@@ -118,7 +119,7 @@ func BenchmarkFig7(b *testing.B) {
 
 func BenchmarkFig8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := exp.Fig8(quick)
+		r := exp.Fig8(ctx, quick)
 		if p, ok := r.Point(128, 350); ok {
 			b.ReportMetric(p.AvgLatNs, "ns-128B-plateau")
 		}
@@ -127,7 +128,7 @@ func BenchmarkFig8(b *testing.B) {
 
 func BenchmarkFig9(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := exp.Fig9(quick)
+		r := exp.Fig9(ctx, quick)
 		b.ReportMetric(r.CollisionPenalty(1, 64), "x-collision64")
 		b.ReportMetric(r.CollisionPenalty(1, 128), "x-collision128")
 	}
@@ -135,7 +136,7 @@ func BenchmarkFig9(b *testing.B) {
 
 func BenchmarkFig10(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := exp.Fig10(quick)
+		r := exp.Fig10(ctx, quick)
 		mean16, sigma16 := r.Stats(16)
 		mean128, sigma128 := r.Stats(128)
 		b.ReportMetric(mean16, "ns-mean16")
@@ -147,7 +148,7 @@ func BenchmarkFig10(b *testing.B) {
 
 func BenchmarkFig13(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := exp.Fig13(quick)
+		r := exp.Fig13(ctx, quick)
 		if p, ok := r.SaturatedPoint(128, "16 vaults"); ok {
 			b.ReportMetric(p.GBps, "GB/s-ceiling")
 		}
@@ -159,7 +160,7 @@ func BenchmarkFig13(b *testing.B) {
 
 func BenchmarkFig14(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := exp.Fig14(quick)
+		r := exp.Fig14(ctx, quick)
 		b.ReportMetric(r.Average(2), "outstanding-2banks")
 		b.ReportMetric(r.Average(4), "outstanding-4banks")
 	}
@@ -167,7 +168,7 @@ func BenchmarkFig14(b *testing.B) {
 
 func BenchmarkDDRComparison(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := exp.DDRComparison(quick)
+		r := exp.DDRComparison(ctx, quick)
 		b.ReportMetric(r.HMCRandomGBps/r.DDRRandomGBps, "x-hmc-vs-ddr")
 	}
 }

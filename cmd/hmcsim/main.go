@@ -4,27 +4,40 @@
 // repository. Experiments come from the internal/exp registry, so a
 // newly registered runner appears here (and in -list) automatically.
 //
+// With -server the same commands run against a hmcsimd daemon instead
+// of simulating locally: specs are submitted as jobs and polled until
+// done, so repeated runs of the same spec come back instantly from the
+// daemon's result cache.
+//
 // Usage:
 //
-//	hmcsim [-exp name[,name...]|all] [-quick] [-seed N] [-workers N] [-format text|json] [-list]
+//	hmcsim [-exp name[,name...]|all] [-quick] [-seed N] [-workers N]
+//	       [-format text|json] [-list] [-server URL]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	"hmcsim"
 	"hmcsim/internal/exp"
+	"hmcsim/internal/service"
 )
 
-func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("hmcsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	which := fs.String("exp", "all", "experiment(s) to run: a registered name, a comma-separated list, or \"all\"")
@@ -33,61 +46,185 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "sweep fan-out; 0 = NumCPU, 1 = sequential (results are identical either way)")
 	format := fs.String("format", "text", "output format: text or json")
 	list := fs.Bool("list", false, "list registered experiments and exit")
+	server := fs.String("server", "", "hmcsimd base URL; run remotely instead of simulating locally")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
 		}
 		return 2
 	}
+	var client *service.Client
+	if *server != "" {
+		client = &service.Client{Base: *server}
+	}
 
+	// -list ignores -format, so it is handled before format validation
+	// (long-standing behavior scripts may rely on).
 	if *list {
-		for _, r := range exp.Runners() {
-			fmt.Fprintf(stdout, "%-8s %s\n", r.Name(), r.Describe())
-		}
-		return 0
+		return runList(ctx, client, stdout, stderr)
 	}
 	if *format != "text" && *format != "json" {
 		fmt.Fprintf(stderr, "hmcsim: unknown format %q (want text or json)\n", *format)
 		return 2
 	}
 
-	names := strings.Split(*which, ",")
-	if *which == "all" {
+	// "all" expands against whichever registry will actually run the
+	// experiments: the daemon's in -server mode (the two binaries may
+	// not be the same build), the local one otherwise.
+	var names []string
+	if *which != "all" {
+		names = strings.Split(*which, ",")
+		for i, name := range names {
+			names[i] = strings.TrimSpace(name)
+		}
+	}
+	o := exp.Options{Quick: *quick, Seed: *seed, Workers: *workers}
+	if client != nil {
+		if *workers != 0 {
+			fmt.Fprintln(stderr, "hmcsim: -workers is local-only; the daemon runs each job on one single-threaded engine")
+		}
+		return runRemote(ctx, client, names, o, *format, stdout, stderr)
+	}
+	if names == nil {
 		names = exp.Names()
 	}
+	return runLocal(ctx, names, o, *format, stdout, stderr)
+}
+
+// runList prints the experiment registry — the local one, or the
+// daemon's when -server is set.
+func runList(ctx context.Context, client *service.Client, stdout, stderr io.Writer) int {
+	if client == nil {
+		for _, r := range exp.Runners() {
+			fmt.Fprintf(stdout, "%-8s %s\n", r.Name(), r.Describe())
+		}
+		return 0
+	}
+	exps, err := client.Experiments(ctx)
+	if err != nil {
+		fmt.Fprintln(stderr, "hmcsim:", err)
+		return 1
+	}
+	for _, e := range exps {
+		fmt.Fprintf(stdout, "%-8s %s\n", e.Name, e.Title)
+	}
+	return 0
+}
+
+// runLocal simulates in this process, exactly the pre-daemon behavior.
+func runLocal(ctx context.Context, names []string, o exp.Options, format string, stdout, stderr io.Writer) int {
 	// Resolve every name before running anything: a typo late in the
 	// list must fail fast, not discard minutes of completed sweeps.
-	for i, name := range names {
-		names[i] = strings.TrimSpace(name)
-		if _, err := exp.Runner(names[i]); err != nil {
+	for _, name := range names {
+		if _, err := exp.Runner(name); err != nil {
 			fmt.Fprintln(stderr, "hmcsim:", err)
 			return 2
 		}
 	}
-	o := exp.Options{Quick: *quick, Seed: *seed, Workers: *workers}
-
 	var results []hmcsim.Result
 	for _, name := range names {
 		start := time.Now()
-		res, err := exp.Run(name, o)
+		res, err := exp.Run(ctx, name, o)
 		if err != nil {
 			fmt.Fprintln(stderr, "hmcsim:", err)
 			return 2
 		}
-		if *format == "text" {
+		if ctx.Err() != nil {
+			fmt.Fprintln(stderr, "hmcsim: interrupted")
+			return 1
+		}
+		if format == "text" {
 			fmt.Fprintln(stdout, res)
 			fmt.Fprintf(stdout, "[%s took %v]\n\n", res.Name, time.Since(start).Round(time.Millisecond))
 		} else {
 			results = append(results, res)
 		}
 	}
-	if *format == "json" {
-		enc := json.NewEncoder(stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(results); err != nil {
+	if format == "json" {
+		return emitJSON(stdout, stderr, results)
+	}
+	return 0
+}
+
+// runRemote submits one job per experiment to the daemon and polls each
+// to completion. A nil names slice means every experiment the daemon
+// registers.
+func runRemote(ctx context.Context, client *service.Client, names []string, o exp.Options, format string, stdout, stderr io.Writer) int {
+	// Resolve every name against the daemon's registry before
+	// submitting anything, mirroring runLocal's fail-fast contract: a
+	// typo late in the list must not discard completed simulations.
+	exps, err := client.Experiments(ctx)
+	if err != nil {
+		fmt.Fprintln(stderr, "hmcsim:", err)
+		return 1
+	}
+	known := make(map[string]bool, len(exps))
+	for _, e := range exps {
+		known[e.Name] = true
+	}
+	if names == nil {
+		for _, e := range exps {
+			names = append(names, e.Name)
+		}
+	}
+	for _, name := range names {
+		if !known[name] {
+			fmt.Fprintf(stderr, "hmcsim: unknown experiment %q on %s\n", name, client.Base)
+			return 2
+		}
+	}
+
+	var results []json.RawMessage
+	for _, name := range names {
+		start := time.Now()
+		job, err := client.Run(ctx, hmcsim.Spec{Exp: name, Options: o}, 0)
+		if err != nil {
+			if ctx.Err() != nil && job.ID != "" {
+				// Interrupted mid-poll: best-effort cancel so the
+				// abandoned simulation does not occupy a daemon worker.
+				cctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				defer cancel()
+				if _, cerr := client.Cancel(cctx, job.ID); cerr != nil {
+					fmt.Fprintf(stderr, "hmcsim: interrupted; could not cancel job %s: %v\n", job.ID, cerr)
+				} else {
+					fmt.Fprintf(stderr, "hmcsim: interrupted; canceled job %s\n", job.ID)
+				}
+				return 1
+			}
 			fmt.Fprintln(stderr, "hmcsim:", err)
 			return 1
 		}
+		switch job.State {
+		case service.StateFailed:
+			fmt.Fprintf(stderr, "hmcsim: %s failed: %s\n", name, job.Error)
+			return 1
+		case service.StateCanceled:
+			fmt.Fprintf(stderr, "hmcsim: %s canceled by the server\n", name)
+			return 1
+		}
+		if format == "text" {
+			fmt.Fprintln(stdout, job.Text)
+			how := "simulated"
+			if job.Cached {
+				how = "served from cache"
+			}
+			fmt.Fprintf(stdout, "[%s %s in %v]\n\n", name, how, time.Since(start).Round(time.Millisecond))
+		} else {
+			results = append(results, job.Result)
+		}
+	}
+	if format == "json" {
+		return emitJSON(stdout, stderr, results)
+	}
+	return 0
+}
+
+func emitJSON[T any](stdout, stderr io.Writer, results []T) int {
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(stderr, "hmcsim:", err)
+		return 1
 	}
 	return 0
 }

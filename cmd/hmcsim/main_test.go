@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hmcsim"
+	"hmcsim/internal/exp"
+	"hmcsim/internal/service"
+)
+
+// newDaemon serves the real experiment registry the way cmd/hmcsimd
+// does, over httptest.
+func newDaemon(t *testing.T) string {
+	t.Helper()
+	svc := service.New(service.Config{Workers: 2}, exp.Runners())
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() { ts.Close(); svc.Close() })
+	return ts.URL
+}
+
+func TestListLocalAndRemote(t *testing.T) {
+	url := newDaemon(t)
+	var local, remote bytes.Buffer
+	if code := run(context.Background(), []string{"-list"}, &local, &local); code != 0 {
+		t.Fatalf("local -list exited %d: %s", code, local.String())
+	}
+	if code := run(context.Background(), []string{"-server", url, "-list"}, &remote, &remote); code != 0 {
+		t.Fatalf("remote -list exited %d: %s", code, remote.String())
+	}
+	// The daemon serves the same registry, so the listings agree.
+	if local.String() != remote.String() {
+		t.Fatalf("listings differ:\nlocal:\n%s\nremote:\n%s", local.String(), remote.String())
+	}
+	if !strings.Contains(local.String(), "fig6") || !strings.Contains(local.String(), "Figure 6") {
+		t.Fatalf("listing missing fig6 row:\n%s", local.String())
+	}
+}
+
+func TestRemoteRunMatchesLocal(t *testing.T) {
+	url := newDaemon(t)
+	args := []string{"-exp", "table1", "-format", "json"}
+
+	var localOut, remoteOut, stderr bytes.Buffer
+	if code := run(context.Background(), args, &localOut, &stderr); code != 0 {
+		t.Fatalf("local run exited %d: %s", code, stderr.String())
+	}
+	remoteArgs := append([]string{"-server", url}, args...)
+	if code := run(context.Background(), remoteArgs, &remoteOut, &stderr); code != 0 {
+		t.Fatalf("remote run exited %d: %s", code, stderr.String())
+	}
+
+	var localRes, remoteRes []hmcsim.Result
+	if err := json.Unmarshal(localOut.Bytes(), &localRes); err != nil {
+		t.Fatalf("local output: %v", err)
+	}
+	if err := json.Unmarshal(remoteOut.Bytes(), &remoteRes); err != nil {
+		t.Fatalf("remote output: %v", err)
+	}
+	if len(localRes) != 1 || len(remoteRes) != 1 {
+		t.Fatalf("result counts %d / %d, want 1 / 1", len(localRes), len(remoteRes))
+	}
+	if localRes[0].Name != remoteRes[0].Name || len(localRes[0].Series) != len(remoteRes[0].Series) {
+		t.Fatalf("remote result diverges from local:\nlocal: %+v\nremote: %+v", localRes[0], remoteRes[0])
+	}
+
+	// A second remote run of the identical spec is a cache hit and
+	// byte-identical output.
+	var again bytes.Buffer
+	if code := run(context.Background(), remoteArgs, &again, &stderr); code != 0 {
+		t.Fatalf("second remote run exited %d: %s", code, stderr.String())
+	}
+	if !bytes.Equal(again.Bytes(), remoteOut.Bytes()) {
+		t.Fatal("cached remote rerun not byte-identical")
+	}
+}
+
+func TestRemoteTextOutput(t *testing.T) {
+	url := newDaemon(t)
+	var out, stderr bytes.Buffer
+	code := run(context.Background(), []string{"-server", url, "-exp", "eq1"}, &out, &stderr)
+	if code != 0 {
+		t.Fatalf("exited %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(out.String(), "BWpeak") {
+		t.Fatalf("remote text output missing the rendered table:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "simulated in") {
+		t.Fatalf("remote text output missing timing line:\n%s", out.String())
+	}
+}
+
+func TestUnknownExperimentFailsFast(t *testing.T) {
+	var out, stderr bytes.Buffer
+	if code := run(context.Background(), []string{"-exp", "fig99"}, &out, &stderr); code != 2 {
+		t.Fatalf("exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "fig99") {
+		t.Fatalf("stderr %q does not name the typo", stderr.String())
+	}
+}
+
+func TestRemoteFailsFastOnUnknownName(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1}, exp.Runners())
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() { ts.Close(); svc.Close() })
+
+	var out, stderr bytes.Buffer
+	code := run(context.Background(),
+		[]string{"-server", ts.URL, "-exp", "table1,fig99"}, &out, &stderr)
+	if code != 2 {
+		t.Fatalf("exited %d, want 2: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "fig99") {
+		t.Fatalf("stderr %q does not name the typo", stderr.String())
+	}
+	// Fail-fast means nothing was submitted — not even the valid name.
+	if n := len(svc.Snapshot().Jobs); n != 0 {
+		t.Fatalf("daemon received %d jobs despite the typo", n)
+	}
+}
+
+// blockingRunner parks until its context is canceled, standing in for a
+// long simulation.
+type blockingRunner struct{ started chan struct{} }
+
+func (b *blockingRunner) Name() string     { return "block" }
+func (b *blockingRunner) Describe() string { return "blocks until canceled" }
+func (b *blockingRunner) Run(ctx context.Context, o hmcsim.Options) hmcsim.Result {
+	close(b.started)
+	<-ctx.Done()
+	return hmcsim.Result{}
+}
+
+// TestRemoteInterruptCancelsJob: Ctrl-C mid-poll must not orphan the
+// simulation on the daemon — the CLI cancels its job on the way out.
+func TestRemoteInterruptCancelsJob(t *testing.T) {
+	br := &blockingRunner{started: make(chan struct{})}
+	svc := service.New(service.Config{Workers: 1}, []hmcsim.Runner{br})
+	// Observe the CLI's first status poll, proving it has read the
+	// submit response (and so holds the job ID) before the "Ctrl-C".
+	polled := make(chan struct{})
+	var pollOnce sync.Once
+	handler := svc.Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v1/jobs/") {
+			pollOnce.Do(func() { close(polled) })
+		}
+		handler.ServeHTTP(w, r)
+	}))
+	t.Cleanup(func() { ts.Close(); svc.Close() })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-br.started // the job is running on the daemon
+		<-polled     // the CLI is in its polling loop
+		cancel()     // "Ctrl-C"
+	}()
+	var out, stderr bytes.Buffer
+	code := run(ctx, []string{"-server", ts.URL, "-exp", "block"}, &out, &stderr)
+	if code != 1 {
+		t.Fatalf("exited %d, want 1: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "canceled job") {
+		t.Fatalf("stderr %q missing cancellation notice", stderr.String())
+	}
+	// The daemon-side job must reach canceled, freeing its worker.
+	j, ok := svc.Job("j000001")
+	if !ok {
+		t.Fatal("daemon lost the job record")
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon job never terminated")
+	}
+	if st := j.View().State; st != service.StateCanceled {
+		t.Fatalf("daemon job state %s, want canceled", st)
+	}
+}

@@ -1,0 +1,75 @@
+// Command hmcsimd serves the experiment registry over an HTTP JSON API:
+// submitted specs flow through a bounded queue into a worker pool (one
+// single-threaded deterministic engine per worker), and finished
+// results are cached content-addressed by their canonical spec hash, so
+// resubmitting an identical spec is served instantly.
+//
+// Usage:
+//
+//	hmcsimd [-addr :8080] [-workers N] [-queue N] [-cache N]
+//
+// Endpoints:
+//
+//	POST   /v1/jobs        submit {"exp": "fig6", "options": {"quick": true}}
+//	GET    /v1/jobs/{id}   status; includes result and text when done
+//	DELETE /v1/jobs/{id}   cancel a queued or running job
+//	GET    /v1/experiments registry listing
+//	GET    /v1/stats       queue, worker, job and cache statistics
+//	GET    /v1/healthz     liveness probe
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hmcsim/internal/exp"
+	"hmcsim/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent simulations; 0 = NumCPU")
+	queue := flag.Int("queue", 64, "queued-job bound; submissions beyond it get 503")
+	cache := flag.Int("cache", 256, "result-cache entries (LRU)")
+	maxJobs := flag.Int("maxjobs", 1024, "retained job records; oldest terminal records beyond this are dropped")
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cache,
+		MaxJobs:      *maxJobs,
+	}, exp.Runners())
+
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("hmcsimd: serving %d experiments on %s", len(exp.Names()), *addr)
+
+	select {
+	case <-ctx.Done():
+		log.Print("hmcsimd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("hmcsimd: shutdown: %v", err)
+		}
+		svc.Close()
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "hmcsimd:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Client example: talk to a running hmcsimd with nothing but net/http,
+// showing the wire protocol end to end — list the registry, submit a
+// job, poll until it completes, and print the result plus the daemon's
+// cache statistics. Submit the same spec twice and the second run comes
+// back instantly with "cached": true.
+//
+// Start a daemon first:
+//
+//	go run ./cmd/hmcsimd -addr :8080
+//	go run ./examples/client -server http://localhost:8080 -exp eq1
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+)
+
+type job struct {
+	ID        string          `json:"id"`
+	State     string          `json:"state"`
+	Cached    bool            `json:"cached"`
+	Error     string          `json:"error"`
+	Text      string          `json:"text"`
+	Result    json.RawMessage `json:"result"`
+	ElapsedMs float64         `json:"elapsedMs"`
+}
+
+func main() {
+	server := "http://localhost:8080"
+	exp := "eq1"
+	quick := true
+	args := os.Args[1:]
+	for i := 0; i < len(args)-1; i++ {
+		switch args[i] {
+		case "-server":
+			server = args[i+1]
+		case "-exp":
+			exp = args[i+1]
+		}
+	}
+
+	// GET /v1/experiments — what can this daemon run?
+	var exps []struct{ Name, Title string }
+	getJSON(server+"/v1/experiments", &exps)
+	fmt.Printf("daemon serves %d experiments:\n", len(exps))
+	for _, e := range exps {
+		fmt.Printf("  %-8s %s\n", e.Name, e.Title)
+	}
+
+	// POST /v1/jobs — submit a spec. 202 means queued; 200 means the
+	// result came straight from the content-addressed cache.
+	spec := fmt.Sprintf(`{"exp": %q, "options": {"quick": %v}}`, exp, quick)
+	resp, err := http.Post(server+"/v1/jobs", "application/json", bytes.NewBufferString(spec))
+	if err != nil {
+		fail(err)
+	}
+	var j job
+	decodeInto(resp, &j)
+	fmt.Printf("\nsubmitted %s: job %s is %s\n", exp, j.ID, j.State)
+
+	// GET /v1/jobs/{id} — poll until terminal.
+	for j.State == "queued" || j.State == "running" {
+		time.Sleep(100 * time.Millisecond)
+		getJSON(server+"/v1/jobs/"+j.ID, &j)
+	}
+	switch j.State {
+	case "done":
+		how := "simulated"
+		if j.Cached {
+			how = "served from cache"
+		}
+		fmt.Printf("job %s done (%s, %.1f ms):\n\n%s\n", j.ID, how, j.ElapsedMs, j.Text)
+	case "failed":
+		fail(fmt.Errorf("job failed: %s", j.Error))
+	default:
+		fail(fmt.Errorf("job ended %s", j.State))
+	}
+
+	// GET /v1/stats — run this program twice and watch hits climb.
+	var stats struct {
+		Cache struct {
+			Hits, Misses, Entries uint64
+		}
+	}
+	getJSON(server+"/v1/stats", &stats)
+	fmt.Printf("cache: %d hits, %d misses, %d entries\n",
+		stats.Cache.Hits, stats.Cache.Misses, stats.Cache.Entries)
+}
+
+func getJSON(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		fail(err)
+	}
+	decodeInto(resp, out)
+}
+
+func decodeInto(resp *http.Response, out any) {
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fail(err)
+	}
+	if resp.StatusCode >= 300 {
+		fail(fmt.Errorf("%s: %s: %s", resp.Request.URL, resp.Status, blob))
+	}
+	if err := json.Unmarshal(blob, out); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "client:", err)
+	os.Exit(1)
+}

@@ -5,9 +5,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"hmcsim"
 )
@@ -16,6 +18,10 @@ func main() {
 	workers := flag.Int("workers", 0, "fan-out; 0 = NumCPU, 1 = sequential")
 	flag.Parse()
 
+	// Ctrl-C stops the sweep from scheduling further points.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	sizes := []int{16, 32, 64, 128}
 	patterns := []hmcsim.PatternSpec{
 		{Name: "1 bank", Banks: 1},
@@ -23,7 +29,7 @@ func main() {
 	}
 
 	// One independent system per (size, pattern) cell.
-	points := hmcsim.Sweep2(*workers, sizes, patterns, func(size int, ps hmcsim.PatternSpec) hmcsim.Point {
+	points := hmcsim.Sweep2(ctx, *workers, sizes, patterns, func(size int, ps hmcsim.PatternSpec) hmcsim.Point {
 		sys := hmcsim.NewSystem(hmcsim.DefaultConfig())
 		m := hmcsim.GUPS{
 			Ports: 9, Size: size, Pattern: ps,

@@ -14,9 +14,14 @@
 //     structured, JSON-marshalable Result. The paper's tables and
 //     figures register themselves in internal/exp's registry.
 //
+// Spec makes experiment requests serializable and content-addressable:
+// its canonical JSON hash is how the hmcsimd service (cmd/hmcsimd,
+// internal/service) caches results.
+//
 // Sweep fans independent simulations out across CPUs; every engine
 // stays single-threaded, so parallel results are bit-identical to
-// sequential ones.
+// sequential ones. Sweeps observe a context.Context between points, so
+// abandoned runs stop scheduling work.
 //
 // Quickstart:
 //

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"hmcsim"
@@ -36,9 +37,9 @@ type DDRComparisonResult struct {
 
 // DDRComparison measures every comparison backend on the same 64 B
 // workloads — a plain sweep over the hmcsim.Backend list.
-func DDRComparison(o Options) DDRComparisonResult {
+func DDRComparison(ctx context.Context, o Options) DDRComparisonResult {
 	backends := hmcsim.ComparisonBackends()
-	rows := hmcsim.Sweep(o.Workers, len(backends), func(i int) BackendPoint {
+	rows := hmcsim.Sweep(ctx, o.Workers, len(backends), func(i int) BackendPoint {
 		b := backends[i]
 		return BackendPoint{
 			Backend:    b.Name(),

@@ -2,13 +2,14 @@ package exp
 
 import (
 	"bytes"
+	"context"
 	"testing"
 )
 
 // runJSON executes one registered experiment and returns its JSON bytes.
 func runJSON(t *testing.T, name string, o Options) []byte {
 	t.Helper()
-	res, err := Run(name, o)
+	res, err := Run(context.Background(), name, o)
 	if err != nil {
 		t.Fatal(err)
 	}

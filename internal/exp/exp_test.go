@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -12,7 +13,10 @@ import (
 // orderings, plateaus, crossovers — on reduced (Quick) sweeps. Absolute
 // numbers live in EXPERIMENTS.md.
 
-var quick = Options{Quick: true}
+var (
+	quick = Options{Quick: true}
+	ctx   = context.Background()
+)
 
 func TestTableIString(t *testing.T) {
 	s := TableI().String()
@@ -30,7 +34,7 @@ func TestPeakBandwidth60(t *testing.T) {
 }
 
 func TestFig6Shapes(t *testing.T) {
-	r := Fig6(Options{Quick: true})
+	r := Fig6(ctx, Options{Quick: true})
 
 	// (1) One bank is the slowest pattern at every size; the paper's
 	// lowest figure is ~2 GB/s at 32 B.
@@ -103,7 +107,7 @@ func TestFig6Shapes(t *testing.T) {
 }
 
 func TestFig7Shapes(t *testing.T) {
-	r := Fig7(quick)
+	r := Fig7(ctx, quick)
 	// No-load floor ~0.7 us for every size (547 ns infrastructure plus
 	// 100-180 ns device).
 	for _, size := range Sizes {
@@ -133,7 +137,7 @@ func TestFig7Shapes(t *testing.T) {
 }
 
 func TestFig8LinearThenFlat(t *testing.T) {
-	r := Fig8(quick)
+	r := Fig8(ctx, quick)
 	for _, size := range []int{16, 128} {
 		ns, lat := r.Curve(size)
 		if len(ns) < 6 {
@@ -155,7 +159,7 @@ func TestFig8LinearThenFlat(t *testing.T) {
 }
 
 func TestFig9CollisionPenalty(t *testing.T) {
-	r := Fig9(quick)
+	r := Fig9(ctx, quick)
 	for _, pinned := range []int{1, 5} {
 		for _, size := range []int{16, 128} {
 			pen := r.CollisionPenalty(pinned, size)
@@ -170,7 +174,7 @@ func TestFig9CollisionPenalty(t *testing.T) {
 }
 
 func TestFig10Findings(t *testing.T) {
-	r := Fig10(Options{Quick: true})
+	r := Fig10(ctx, Options{Quick: true})
 	// Means grow with request size and sit in the paper's ballpark
 	// (1.6-4.3 us on hardware; the simulator runs a little faster).
 	prevMean := 0.0
@@ -202,7 +206,7 @@ func TestFig10Findings(t *testing.T) {
 }
 
 func TestFig10Heatmaps(t *testing.T) {
-	r := Fig10(Options{Quick: true})
+	r := Fig10(ctx, Options{Quick: true})
 	hm := r.Heatmap(64).Render()
 	if !strings.Contains(hm, "vault") {
 		t.Fatalf("heatmap missing label:\n%s", hm)
@@ -214,7 +218,7 @@ func TestFig10Heatmaps(t *testing.T) {
 }
 
 func TestFig13Shapes(t *testing.T) {
-	r := Fig13(Options{Quick: true})
+	r := Fig13(ctx, Options{Quick: true})
 	// Bank-limited patterns are flat (saturated from few ports); spread
 	// patterns grow with port count.
 	for _, size := range Sizes {
@@ -252,7 +256,7 @@ func TestFig13Shapes(t *testing.T) {
 }
 
 func TestFig14Linearity(t *testing.T) {
-	r := Fig14(quick)
+	r := Fig14(ctx, quick)
 	two, four := r.Average(2), r.Average(4)
 	if two < 200 || two > 400 {
 		t.Errorf("2-bank outstanding = %.0f, want ~290 (paper: 288)", two)
@@ -274,7 +278,7 @@ func TestFig14Linearity(t *testing.T) {
 }
 
 func TestDDRComparison(t *testing.T) {
-	r := DDRComparison(quick)
+	r := DDRComparison(ctx, quick)
 	if r.DDRIdleLatNs <= 0 || r.HMCIdleLatNs <= 0 {
 		t.Fatal("missing idle latencies")
 	}
@@ -295,8 +299,8 @@ func TestDDRComparison(t *testing.T) {
 
 func TestOptionsSeedStability(t *testing.T) {
 	// Conclusions survive a different workload seed.
-	a := Fig14(Options{Quick: true, Seed: 0})
-	b := Fig14(Options{Quick: true, Seed: 12345})
+	a := Fig14(ctx, Options{Quick: true, Seed: 0})
+	b := Fig14(ctx, Options{Quick: true, Seed: 12345})
 	for _, banks := range []int{2, 4} {
 		ra, rb := a.Average(banks), b.Average(banks)
 		if ra/rb > 1.2 || rb/ra > 1.2 {
@@ -324,10 +328,10 @@ func TestCombinations4(t *testing.T) {
 
 func TestResultStringers(t *testing.T) {
 	// All result types print non-empty, labeled tables.
-	if s := Fig14(quick).String(); !strings.Contains(s, "Figure 14") {
+	if s := Fig14(ctx, quick).String(); !strings.Contains(s, "Figure 14") {
 		t.Error("Fig14 string unlabeled")
 	}
-	if s := Fig7(quick).String(); !strings.Contains(s, "Figure 7") {
+	if s := Fig7(ctx, quick).String(); !strings.Contains(s, "Figure 7") {
 		t.Error("Fig7 string unlabeled")
 	}
 	if s := PeakBandwidth().String(); !strings.Contains(s, "60.00GB/s") {

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"hmcsim"
@@ -38,7 +39,7 @@ func Combinations4() [][4]int {
 
 // Fig10 runs the combination study. Quick mode subsamples the 1820
 // combinations to keep bench times reasonable; the CLI runs the full set.
-func Fig10(o Options) VaultComboResult {
+func Fig10(ctx context.Context, o Options) VaultComboResult {
 	combos := Combinations4()
 	stride := 1
 	if o.Quick {
@@ -55,7 +56,7 @@ func Fig10(o Options) VaultComboResult {
 		perVault [][]float64
 		combos   int
 	}
-	perSize := hmcsim.Sweep(o.Workers, len(Sizes), func(si int) sizeRun {
+	perSize := hmcsim.Sweep(ctx, o.Workers, len(Sizes), func(si int) sizeRun {
 		size := Sizes[si]
 		run := sizeRun{perVault: make([][]float64, addr.Vaults)}
 		sys := o.NewSystem()

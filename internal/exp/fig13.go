@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"hmcsim"
@@ -29,7 +30,7 @@ type Fig13Result struct {
 // Fig13 reproduces the bandwidth-vs-active-ports sweep of Figure 13: the
 // number of active ports is the proxy for requested bandwidth; sloped
 // series are bottleneck-free, flat ones have hit a structural limit.
-func Fig13(o Options) Fig13Result {
+func Fig13(ctx context.Context, o Options) Fig13Result {
 	ports := []int{1, 2, 3, 4, 5, 6, 7, 8, 9}
 	if o.Quick {
 		ports = []int{1, 3, 5, 7, 9}
@@ -47,7 +48,7 @@ func Fig13(o Options) Fig13Result {
 			}
 		}
 	}
-	points := hmcsim.Sweep(o.Workers, len(jobs), func(i int) Fig13Point {
+	points := hmcsim.Sweep(ctx, o.Workers, len(jobs), func(i int) Fig13Point {
 		j := jobs[i]
 		sys := o.NewSystem()
 		r := sys.RunGUPS(core.GUPSSpec{

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"hmcsim"
@@ -31,8 +32,8 @@ type Fig14Result struct {
 // the two- and four-bank patterns with all nine ports, estimate the
 // outstanding requests, and observe the roughly linear growth with bank
 // count that implies a queue per bank in the vault controller.
-func Fig14(o Options) Fig14Result {
-	points := hmcsim.Sweep2(o.Workers, []int{2, 4}, Sizes, func(banks, size int) Fig14Point {
+func Fig14(ctx context.Context, o Options) Fig14Result {
+	points := hmcsim.Sweep2(ctx, o.Workers, []int{2, 4}, Sizes, func(banks, size int) Fig14Point {
 		sys := o.NewSystem()
 		pat := sys.Banks(banks)
 		r := sys.RunGUPS(core.GUPSSpec{

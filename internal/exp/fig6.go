@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"hmcsim"
@@ -28,8 +29,8 @@ type Fig6Result struct {
 // issuing read-only random traffic, reproducing the latency-vs-bandwidth
 // scatter of Figure 6. Each (size, pattern) cell is an independent
 // system, so the sweep fans out across workers.
-func Fig6(o Options) Fig6Result {
-	points := hmcsim.Sweep2(o.Workers, Sizes, Patterns, func(size int, ps PatternSpec) Fig6Point {
+func Fig6(ctx context.Context, o Options) Fig6Result {
+	points := hmcsim.Sweep2(ctx, o.Workers, Sizes, Patterns, func(size int, ps PatternSpec) Fig6Point {
 		sys := o.NewSystem()
 		r := sys.RunGUPS(core.GUPSSpec{
 			Ports:   9,

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"hmcsim"
@@ -26,7 +27,7 @@ type LowLoadResult struct {
 }
 
 // Fig7 reproduces Figure 7: stream lengths one to 55.
-func Fig7(o Options) LowLoadResult {
+func Fig7(ctx context.Context, o Options) LowLoadResult {
 	ns := make([]int, 0, 55)
 	step := 1
 	if o.Quick {
@@ -35,12 +36,12 @@ func Fig7(o Options) LowLoadResult {
 	for n := 1; n <= 55; n += step {
 		ns = append(ns, n)
 	}
-	return lowLoad(o, "Figure 7", ns)
+	return lowLoad(ctx, o, "Figure 7", ns)
 }
 
 // Fig8 reproduces Figure 8: stream lengths one to 350, showing the
 // linear region and the saturated plateau.
-func Fig8(o Options) LowLoadResult {
+func Fig8(ctx context.Context, o Options) LowLoadResult {
 	step := 10
 	if o.Quick {
 		step = 35
@@ -49,10 +50,10 @@ func Fig8(o Options) LowLoadResult {
 	for n := step; n <= 350; n += step {
 		ns = append(ns, n)
 	}
-	return lowLoad(o, "Figure 8", ns)
+	return lowLoad(ctx, o, "Figure 8", ns)
 }
 
-func lowLoad(o Options, figure string, ns []int) LowLoadResult {
+func lowLoad(ctx context.Context, o Options, figure string, ns []int) LowLoadResult {
 	res := LowLoadResult{Figure: figure}
 	vaults := addr.Vaults
 	if o.Quick {
@@ -61,7 +62,7 @@ func lowLoad(o Options, figure string, ns []int) LowLoadResult {
 	// One system per size; bursts replay back-to-back on one port, each
 	// fully draining before the next starts, as the multi-port stream
 	// software does. Sizes are independent systems, so they fan out.
-	perSize := hmcsim.Sweep(o.Workers, len(Sizes), func(si int) []LowLoadPoint {
+	perSize := hmcsim.Sweep(ctx, o.Workers, len(Sizes), func(si int) []LowLoadPoint {
 		size := Sizes[si]
 		sys := o.NewSystem()
 		points := make([]LowLoadPoint, 0, len(ns))

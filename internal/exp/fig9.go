@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"hmcsim"
@@ -29,7 +30,7 @@ type Fig9Result struct {
 // every vault. When the fourth collides with the pinned vault the
 // maximum latency jumps; elsewhere it varies with NoC position and
 // traffic interleaving.
-func Fig9(o Options) Fig9Result {
+func Fig9(ctx context.Context, o Options) Fig9Result {
 	n := 600
 	if o.Quick {
 		n = 200
@@ -38,7 +39,7 @@ func Fig9(o Options) Fig9Result {
 	pinnedVaults := []int{1, 5}
 	// Each (pinned, size) pair replays its sixteen sweep positions on
 	// one shared system; the pairs themselves are independent.
-	perJob := hmcsim.Sweep2(o.Workers, pinnedVaults, Sizes, func(pinned, size int) []Fig9Point {
+	perJob := hmcsim.Sweep2(ctx, o.Workers, pinnedVaults, Sizes, func(pinned, size int) []Fig9Point {
 		sys := o.NewSystem()
 		points := make([]Fig9Point, 0, sweep)
 		for sv := 0; sv < sweep; sv++ {

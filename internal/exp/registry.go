@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"hmcsim"
@@ -18,16 +19,17 @@ type Meta struct {
 type entry struct {
 	name string
 	meta Meta
-	fn   func(Options) hmcsim.Result
+	fn   func(context.Context, Options) hmcsim.Result
 }
 
 func (e entry) Name() string     { return e.name }
 func (e entry) Describe() string { return e.meta.Title }
 
 // Run executes the experiment and stamps the registry metadata and the
-// options onto the result.
-func (e entry) Run(o Options) hmcsim.Result {
-	res := e.fn(o)
+// options onto the result. Cancelling ctx aborts between sweep points;
+// the partial result must then be discarded.
+func (e entry) Run(ctx context.Context, o Options) hmcsim.Result {
+	res := e.fn(ctx, o)
 	res.Name = e.name
 	res.Title = e.meta.Title
 	res.Options = o
@@ -41,7 +43,7 @@ var (
 
 // Register adds a named experiment. Names must be unique; registration
 // order is the presentation order of `-exp all`.
-func Register(name string, meta Meta, fn func(Options) hmcsim.Result) {
+func Register(name string, meta Meta, fn func(context.Context, Options) hmcsim.Result) {
 	if _, dup := byName[name]; dup {
 		panic(fmt.Sprintf("exp: duplicate runner %q", name))
 	}
@@ -78,12 +80,12 @@ func Runner(name string) (hmcsim.Runner, error) {
 }
 
 // Run executes one registered experiment by name.
-func Run(name string, o Options) (hmcsim.Result, error) {
+func Run(ctx context.Context, name string, o Options) (hmcsim.Result, error) {
 	r, err := Runner(name)
 	if err != nil {
 		return hmcsim.Result{}, err
 	}
-	return r.Run(o), nil
+	return r.Run(ctx, o), nil
 }
 
 // The paper's tables and figures, in presentation order. Each closure
@@ -92,23 +94,23 @@ func Run(name string, o Options) (hmcsim.Result, error) {
 // assert on curve shapes.
 func init() {
 	Register("table1", Meta{Title: "Table I: HMC request/response read/write sizes"},
-		func(o Options) hmcsim.Result { return TableI().Result() })
+		func(ctx context.Context, o Options) hmcsim.Result { return TableI().Result() })
 	Register("eq1", Meta{Title: "Equation 1: peak bi-directional link bandwidth"},
-		func(o Options) hmcsim.Result { return PeakBandwidth().Result() })
+		func(ctx context.Context, o Options) hmcsim.Result { return PeakBandwidth().Result() })
 	Register("fig6", Meta{Title: "Figure 6: read latency vs bi-directional bandwidth per access pattern"},
-		func(o Options) hmcsim.Result { return Fig6(o).Result() })
+		func(ctx context.Context, o Options) hmcsim.Result { return Fig6(ctx, o).Result() })
 	Register("fig7", Meta{Title: "Figure 7: low-load latency vs stream length (1-55)"},
-		func(o Options) hmcsim.Result { return Fig7(o).Result() })
+		func(ctx context.Context, o Options) hmcsim.Result { return Fig7(ctx, o).Result() })
 	Register("fig8", Meta{Title: "Figure 8: low-load latency vs stream length (1-350)"},
-		func(o Options) hmcsim.Result { return Fig8(o).Result() })
+		func(ctx context.Context, o Options) hmcsim.Result { return Fig8(ctx, o).Result() })
 	Register("fig9", Meta{Title: "Figure 9: QoS collision study, 3 pinned ports + 1 sweeping port"},
-		func(o Options) hmcsim.Result { return Fig9(o).Result() })
+		func(ctx context.Context, o Options) hmcsim.Result { return Fig9(ctx, o).Result() })
 	Register("fig10", Meta{Title: "Figures 10-12: four-vault combination latency study"},
-		func(o Options) hmcsim.Result { return Fig10(o).Result() })
+		func(ctx context.Context, o Options) hmcsim.Result { return Fig10(ctx, o).Result() })
 	Register("fig13", Meta{Title: "Figure 13: bandwidth vs active ports per access pattern"},
-		func(o Options) hmcsim.Result { return Fig13(o).Result() })
+		func(ctx context.Context, o Options) hmcsim.Result { return Fig13(ctx, o).Result() })
 	Register("fig14", Meta{Title: "Figure 14: outstanding requests via Little's law"},
-		func(o Options) hmcsim.Result { return Fig14(o).Result() })
+		func(ctx context.Context, o Options) hmcsim.Result { return Fig14(ctx, o).Result() })
 	Register("ddr", Meta{Title: "DDR3 baseline comparison (Section IV-B)"},
-		func(o Options) hmcsim.Result { return DDRComparison(o).Result() })
+		func(ctx context.Context, o Options) hmcsim.Result { return DDRComparison(ctx, o).Result() })
 }

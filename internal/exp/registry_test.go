@@ -24,7 +24,7 @@ func TestRegistryNames(t *testing.T) {
 
 // TestRunUnknown asserts experiment selection is an error, not an exit.
 func TestRunUnknown(t *testing.T) {
-	_, err := Run("fig99", Options{Quick: true})
+	_, err := Run(ctx, "fig99", Options{Quick: true})
 	if err == nil {
 		t.Fatal("Run(fig99) succeeded, want error")
 	}
@@ -40,7 +40,7 @@ func TestRunUnknown(t *testing.T) {
 func TestAllRunnersQuick(t *testing.T) {
 	o := Options{Quick: true}
 	for _, r := range Runners() {
-		res, err := Run(r.Name(), o)
+		res, err := Run(ctx, r.Name(), o)
 		if err != nil {
 			t.Fatalf("%s: %v", r.Name(), err)
 		}

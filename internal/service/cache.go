@@ -1,0 +1,91 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a content-addressed in-memory result cache with LRU
+// eviction. Keys are canonical spec hashes (hmcsim.Spec.Key), values
+// are the marshaled outcome bytes, so a hit is served byte-identically
+// to the run that populated it.
+type Cache struct {
+	mu        sync.Mutex
+	max       int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// CacheStats is a point-in-time counter snapshot.
+type CacheStats struct {
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// NewCache returns a cache holding at most max entries; max <= 0 means
+// a default of 256.
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = 256
+	}
+	return &Cache{max: max, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// Get returns the cached bytes for key, marking the entry most recently
+// used. Every call counts as a hit or a miss.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores val under key, evicting the least recently used entry when
+// the cache is full. Storing an existing key refreshes its value and
+// recency.
+func (c *Cache) Put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   c.ll.Len(),
+		Capacity:  c.max,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

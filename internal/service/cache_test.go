@@ -1,0 +1,85 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestCacheHitMissCounters(t *testing.T) {
+	c := NewCache(4)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("a", []byte("va"))
+	if v, ok := c.Get("a"); !ok || !bytes.Equal(v, []byte("va")) {
+		t.Fatalf("Get(a) = %q, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Capacity != 4 {
+		t.Fatalf("stats %+v, want 1 hit, 1 miss, 1 entry", st)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", []byte("va"))
+	c.Put("b", []byte("vb"))
+	// Touch a so b becomes the least recently used.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.Put("c", []byte("vc"))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction; LRU order wrong")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("recently used a was evicted")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("newest entry c missing")
+	}
+	if ev := c.Stats().Evictions; ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+}
+
+func TestCachePutRefreshes(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", []byte("v1"))
+	c.Put("b", []byte("vb"))
+	c.Put("a", []byte("v2")) // refresh value and recency
+	c.Put("c", []byte("vc")) // evicts b, not a
+	if v, ok := c.Get("a"); !ok || !bytes.Equal(v, []byte("v2")) {
+		t.Fatalf("Get(a) = %q, %v; want refreshed v2", v, ok)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived; refresh did not move a to front")
+	}
+}
+
+func TestCachePeekDoesNotCount(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", []byte("va"))
+	if _, ok := c.peek("a"); !ok {
+		t.Fatal("peek missed")
+	}
+	if _, ok := c.peek("zz"); ok {
+		t.Fatal("peek hit a missing key")
+	}
+	st := c.Stats()
+	if st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("peek moved counters: %+v", st)
+	}
+}
+
+func TestCacheBounded(t *testing.T) {
+	c := NewCache(8)
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	st := c.Stats()
+	if st.Entries != 8 || st.Evictions != 92 {
+		t.Fatalf("stats %+v, want 8 entries and 92 evictions", st)
+	}
+}

@@ -1,0 +1,144 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"hmcsim"
+)
+
+// Client talks to a running hmcsimd over its HTTP JSON API. It is what
+// backs `hmcsim -server URL`.
+type Client struct {
+	// Base is the daemon's base URL, e.g. "http://localhost:8080".
+	Base string
+	// HTTP overrides the transport; nil uses http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues one request and decodes the JSON response into out,
+// converting non-2xx statuses into errors carrying the server's
+// error message.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		blob, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, strings.TrimSuffix(c.Base, "/")+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e errorBody
+		if json.Unmarshal(blob, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s %s: %s (%s)", method, path, e.Error, resp.Status)
+		}
+		return fmt.Errorf("%s %s: %s", method, path, resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(blob, out)
+}
+
+// Submit posts a spec and returns the created (or cache-served) job.
+func (c *Client) Submit(ctx context.Context, spec hmcsim.Spec) (JobView, error) {
+	var v JobView
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &v)
+	return v, err
+}
+
+// Job fetches one job's current view.
+func (c *Client) Job(ctx context.Context, id string) (JobView, error) {
+	var v JobView
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &v)
+	return v, err
+}
+
+// Cancel requests cancellation and returns the resulting view.
+func (c *Client) Cancel(ctx context.Context, id string) (JobView, error) {
+	var v JobView
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &v)
+	return v, err
+}
+
+// Wait polls a job until it reaches a terminal state or ctx expires.
+func (c *Client) Wait(ctx context.Context, id string, interval time.Duration) (JobView, error) {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		v, err := c.Job(ctx, id)
+		if err != nil {
+			return v, err
+		}
+		if v.State.Terminal() {
+			return v, nil
+		}
+		select {
+		case <-ctx.Done():
+			return v, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Run submits a spec and waits for its terminal view — the remote
+// equivalent of exp.Run. On a polling error the returned view still
+// carries the submitted job's ID, so callers can cancel the orphan.
+func (c *Client) Run(ctx context.Context, spec hmcsim.Spec, interval time.Duration) (JobView, error) {
+	v, err := c.Submit(ctx, spec)
+	if err != nil || v.State.Terminal() {
+		return v, err
+	}
+	w, err := c.Wait(ctx, v.ID, interval)
+	if w.ID == "" {
+		w.ID = v.ID
+	}
+	return w, err
+}
+
+// Experiments lists the daemon's registry.
+func (c *Client) Experiments(ctx context.Context) ([]ExperimentView, error) {
+	var out []ExperimentView
+	err := c.do(ctx, http.MethodGet, "/v1/experiments", nil, &out)
+	return out, err
+}
+
+// Stats fetches serving statistics.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var out Stats
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out)
+	return out, err
+}

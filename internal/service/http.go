@@ -1,0 +1,113 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"hmcsim"
+)
+
+// ExperimentView is one row of GET /v1/experiments.
+type ExperimentView struct {
+	Name  string `json:"name"`
+	Title string `json:"title"`
+}
+
+// errorBody is the JSON error envelope every non-2xx response uses.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs        submit a spec; 200 on a cache hit, 202 queued
+//	GET    /v1/jobs/{id}   job status and, when done, its result
+//	DELETE /v1/jobs/{id}   cancel a queued or running job
+//	GET    /v1/experiments the experiment registry
+//	GET    /v1/stats       queue, worker, job and cache statistics
+//	GET    /v1/healthz     liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the connection is gone; nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// Specs are a few dozen bytes; bound the body so one hostile POST
+	// cannot balloon daemon memory.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var spec hmcsim.Spec
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, errQueueFull), errors.Is(err, errClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	v := j.View()
+	if v.State.Terminal() {
+		writeJSON(w, http.StatusOK, v) // served from the cache
+		return
+	}
+	writeJSON(w, http.StatusAccepted, v)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	out := make([]ExperimentView, 0, len(s.names))
+	for _, name := range s.names {
+		out = append(out, ExperimentView{Name: name, Title: s.runners[name].Describe()})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,177 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+
+	"hmcsim"
+)
+
+// State is a job's lifecycle position. Transitions are
+// queued → running → done|failed, plus queued|running → canceled.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether no further transition can happen.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// outcome is the cached value format: the result's JSON plus the
+// pre-rendered human text (which Result excludes from its own JSON).
+// The result bytes pass through json.RawMessage untouched, so cache
+// hits are byte-identical to the run that populated them.
+type outcome struct {
+	Result json.RawMessage `json:"result"`
+	Text   string          `json:"text"`
+}
+
+// Job is one submitted simulation request moving through the queue and
+// worker pool.
+type Job struct {
+	id   string
+	spec hmcsim.Spec
+	key  string
+
+	// ctx governs this job only; cancel flips queued jobs straight to
+	// canceled and asks running ones to abandon their sweep.
+	ctx    context.Context
+	cancel context.CancelFunc
+	// done closes when the job reaches a terminal state.
+	done chan struct{}
+
+	mu        sync.Mutex
+	state     State
+	cached    bool
+	err       string
+	result    json.RawMessage
+	text      string
+	submitted time.Time
+	finished  time.Time
+}
+
+// JobView is the job's wire representation.
+type JobView struct {
+	ID    string      `json:"id"`
+	State State       `json:"state"`
+	Spec  hmcsim.Spec `json:"spec"`
+	// Key is the spec's content address — the cache key.
+	Key string `json:"key"`
+	// Cached marks results served from the cache rather than computed
+	// by this job.
+	Cached bool            `json:"cached"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Text   string          `json:"text,omitempty"`
+	// ElapsedMs is submission-to-terminal wall time; ~0 for cache hits.
+	ElapsedMs float64 `json:"elapsedMs,omitempty"`
+}
+
+// View snapshots the job for serialization.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:     j.id,
+		State:  j.state,
+		Spec:   j.spec,
+		Key:    j.key,
+		Cached: j.cached,
+		Error:  j.err,
+		Result: j.result,
+		Text:   j.text,
+	}
+	if !j.finished.IsZero() {
+		v.ElapsedMs = float64(j.finished.Sub(j.submitted).Microseconds()) / 1000
+	}
+	return v
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// finishedAt returns when the job went terminal (zero while active).
+func (j *Job) finishedAt() time.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.finished
+}
+
+// startRunning moves queued → running; it fails when the job was
+// canceled (or its context expired) while waiting in the queue.
+func (j *Job) startRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	if j.ctx.Err() != nil {
+		j.finishLocked(StateCanceled)
+		return false
+	}
+	j.state = StateRunning
+	return true
+}
+
+// finish moves the job to a terminal state; later calls are no-ops.
+func (j *Job) finish(s State) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finishLocked(s)
+}
+
+func (j *Job) finishLocked(s State) {
+	if j.state.Terminal() {
+		return
+	}
+	j.state = s
+	j.finished = time.Now()
+	j.cancel() // release the context's resources
+	close(j.done)
+}
+
+// complete records a successful outcome. cached marks results served
+// from the cache rather than computed by this job.
+func (j *Job) complete(o outcome, cached bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.result = o.Result
+	j.text = o.Text
+	j.cached = cached
+	j.finishLocked(StateDone)
+}
+
+// fail records an error outcome.
+func (j *Job) fail(msg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.err = msg
+	j.finishLocked(StateFailed)
+}
+
+// Cancel requests cancellation: queued jobs flip to canceled
+// immediately, running jobs stop at their next sweep point, terminal
+// jobs are unaffected.
+func (j *Job) Cancel() {
+	j.cancel()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateQueued {
+		j.finishLocked(StateCanceled)
+	}
+}

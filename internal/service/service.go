@@ -1,0 +1,404 @@
+// Package service is the serving layer of the simulator: a bounded job
+// queue feeding a worker pool, a content-addressed LRU result cache,
+// and the HTTP JSON API that cmd/hmcsimd exposes.
+//
+// Every worker runs one single-threaded deterministic engine at a time
+// (submitted specs execute with Workers=1), so N workers means N
+// concurrent simulations and results are bit-identical to local runs.
+// Completed results are cached under the canonical hash of their spec
+// (hmcsim.Spec.Key), so resubmitting an identical spec is served
+// instantly and byte-identically.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"hmcsim"
+)
+
+var (
+	errClosed    = errors.New("server is shutting down")
+	errQueueFull = errors.New("job queue is full")
+)
+
+// Config sizes the serving layer. The zero value picks sensible
+// defaults.
+type Config struct {
+	// Workers is the number of concurrent simulations; <= 0 means
+	// runtime.NumCPU().
+	Workers int
+	// QueueDepth bounds the number of jobs waiting for a worker;
+	// submissions beyond it are rejected with 503. <= 0 means 64.
+	QueueDepth int
+	// CacheEntries bounds the result cache; <= 0 means 256.
+	CacheEntries int
+	// MaxJobs bounds the job table: when exceeded, the oldest terminal
+	// job records (and their status/result views) are dropped, so a
+	// long-running daemon's memory stays flat. Queued and running jobs
+	// are never dropped. <= 0 means 1024.
+	MaxJobs int
+	// Retain is how long a terminal job record is kept even past the
+	// MaxJobs bound, so clients polling a just-finished job by ID never
+	// see it vanish into a 404 mid-poll (the table may exceed MaxJobs
+	// by up to one retention window of traffic). 0 means 30s; negative
+	// disables retention and prunes strictly at MaxJobs.
+	Retain time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	switch {
+	case c.Retain == 0:
+		c.Retain = 30 * time.Second
+	case c.Retain < 0:
+		c.Retain = 0
+	}
+	return c
+}
+
+// Server owns the queue, the worker pool, the cache, and the job table.
+type Server struct {
+	cfg     Config
+	runners map[string]hmcsim.Runner
+	names   []string // registration order, for GET /v1/experiments
+	cache   *Cache
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	queue   chan *Job
+	wg      sync.WaitGroup
+
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string // insertion order, for terminal-job pruning
+	// inflight maps spec keys to their queued/running representative, so
+	// a duplicate submission coalesces onto it instead of simulating the
+	// same spec twice concurrently.
+	inflight map[string]*Job
+	seq      int
+	closed   bool
+}
+
+// New builds a server over the given experiment runners (normally
+// exp.Runners()) and starts its worker pool.
+func New(cfg Config, runners []hmcsim.Runner) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		runners:  make(map[string]hmcsim.Runner, len(runners)),
+		cache:    NewCache(cfg.CacheEntries),
+		baseCtx:  ctx,
+		stop:     cancel,
+		queue:    make(chan *Job, cfg.QueueDepth),
+		jobs:     map[string]*Job{},
+		inflight: map[string]*Job{},
+	}
+	for _, r := range runners {
+		s.runners[r.Name()] = r
+		s.names = append(s.names, r.Name())
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close cancels every queued and in-flight job and stops the workers.
+// Subsequent submissions are rejected.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.stop()       // cancels every job context derived from baseCtx
+	close(s.queue) // workers drain the (now canceled) backlog and exit
+	s.wg.Wait()
+}
+
+// worker pulls jobs off the queue until the queue closes.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.runJob(job)
+		s.clearInflight(job)
+	}
+}
+
+// clearInflight drops the in-flight index entry once its representative
+// is terminal, but never a successor that reclaimed the key.
+func (s *Server) clearInflight(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+}
+
+// runJob executes one dequeued job on this worker's goroutine.
+func (s *Server) runJob(j *Job) {
+	if !j.startRunning() {
+		return // canceled while queued
+	}
+	// An identical spec may have completed while this one waited, so
+	// peek (without touching the hit/miss counters) before simulating.
+	if blob, ok := s.cache.peek(j.key); ok {
+		j.completeFromCache(blob)
+		return
+	}
+	runner := s.runners[j.spec.Exp] // validated at submission
+	o := j.spec.Options
+	o.Workers = 1 // one single-threaded engine per worker
+	res, err := runSafely(j.ctx, runner, o)
+	switch {
+	case j.ctx.Err() != nil:
+		// The sweep returned early with partial data; discard it.
+		j.finish(StateCanceled)
+	case err != nil:
+		j.fail(err.Error())
+	default:
+		blob, o, err := encodeOutcome(res)
+		if err != nil {
+			j.fail(fmt.Sprintf("encode result: %v", err))
+			return
+		}
+		s.cache.Put(j.key, blob)
+		j.complete(o, false)
+	}
+}
+
+// runSafely executes the runner, converting a panic into an error so
+// one bad experiment cannot take down the worker pool.
+func runSafely(ctx context.Context, r hmcsim.Runner, o hmcsim.Options) (res hmcsim.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("experiment %s panicked: %v", r.Name(), p)
+		}
+	}()
+	return r.Run(ctx, o), nil
+}
+
+// encodeOutcome marshals a result into the cache value format.
+func encodeOutcome(res hmcsim.Result) ([]byte, outcome, error) {
+	raw, err := json.Marshal(res)
+	if err != nil {
+		return nil, outcome{}, err
+	}
+	o := outcome{Result: raw, Text: res.String()}
+	blob, err := json.Marshal(o)
+	if err != nil {
+		return nil, outcome{}, err
+	}
+	return blob, o, nil
+}
+
+// completeFromCache finishes a job with previously cached bytes.
+func (j *Job) completeFromCache(blob []byte) {
+	var o outcome
+	if err := json.Unmarshal(blob, &o); err != nil {
+		j.fail(fmt.Sprintf("decode cached outcome: %v", err))
+		return
+	}
+	j.complete(o, true)
+}
+
+// peek is Get without counter side effects, for the worker's dedup
+// check (the submission already counted this spec's hit or miss).
+func (c *Cache) peek(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Submit validates a spec, serves it from the cache when possible, and
+// otherwise enqueues it for the worker pool. The returned job is
+// already terminal for cache hits.
+func (s *Server) Submit(spec hmcsim.Spec) (*Job, error) {
+	if _, ok := s.runners[spec.Exp]; !ok {
+		return nil, fmt.Errorf("unknown experiment %q (have %v)", spec.Exp, s.names)
+	}
+	key, err := spec.Key()
+	if err != nil {
+		return nil, err
+	}
+
+	// Decode a cache hit before taking the server lock, so hit-heavy
+	// traffic does not serialize all submissions behind unmarshal work.
+	var hit *outcome
+	if blob, ok := s.cache.Get(key); ok {
+		var o outcome
+		if err := json.Unmarshal(blob, &o); err != nil {
+			return nil, fmt.Errorf("decode cached outcome: %w", err)
+		}
+		hit = &o
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errClosed
+	}
+	s.seq++
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j := &Job{
+		id:     fmt.Sprintf("j%06d", s.seq),
+		spec:   spec,
+		key:    key,
+		ctx:    ctx,
+		cancel: cancel,
+		state:  StateQueued,
+		done:   make(chan struct{}),
+	}
+	j.submitted = time.Now()
+	if hit != nil {
+		j.complete(*hit, true)
+		s.insertLocked(j)
+		return j, nil
+	}
+	// Coalesce onto an identical queued/running job instead of
+	// simulating the same spec twice concurrently.
+	if twin, ok := s.inflight[key]; ok && !twin.View().State.Terminal() {
+		s.insertLocked(j)
+		go s.adopt(j, twin)
+		return j, nil
+	}
+	select {
+	case s.queue <- j:
+		s.inflight[key] = j
+		s.insertLocked(j)
+		return j, nil
+	default:
+		cancel()
+		return nil, errQueueFull
+	}
+}
+
+// adopt parks a duplicate job on its in-flight twin: when the twin
+// completes, the duplicate is served from the cache it populated. If
+// the twin failed or was canceled instead, the duplicate re-adopts any
+// representative that has taken over the key in the meantime, and only
+// runs on its own when no active twin remains — so one spec never
+// simulates twice concurrently.
+func (s *Server) adopt(j, twin *Job) {
+	for {
+		select {
+		case <-twin.Done():
+		case <-j.ctx.Done():
+			j.finish(StateCanceled) // duplicate canceled (or server closing) while waiting
+			return
+		}
+		if blob, ok := s.cache.peek(j.key); ok {
+			j.completeFromCache(blob)
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			j.finish(StateCanceled)
+			return
+		}
+		if next, ok := s.inflight[j.key]; ok && !next.View().State.Terminal() {
+			// A fresh submission became the representative while the
+			// failed twin wound down; wait on it instead.
+			s.mu.Unlock()
+			twin = next
+			continue
+		}
+		select {
+		case s.queue <- j:
+			s.inflight[j.key] = j // the duplicate is the new representative
+		default:
+			j.fail(errQueueFull.Error())
+		}
+		s.mu.Unlock()
+		return
+	}
+}
+
+// insertLocked records a job and prunes the oldest terminal records
+// beyond the MaxJobs bound, keeping daemon memory flat under steady
+// traffic. Active (queued or running) jobs are never pruned, and
+// terminal ones linger for the Retain window so a client polling a
+// just-finished job by ID does not see it vanish into a 404.
+func (s *Server) insertLocked(j *Job) {
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	cutoff := time.Now().Add(-s.cfg.Retain)
+	for len(s.jobs) > s.cfg.MaxJobs {
+		pruned := false
+		for i, id := range s.order {
+			if fin := s.jobs[id].finishedAt(); !fin.IsZero() && !fin.After(cutoff) {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				pruned = true
+				break
+			}
+		}
+		if !pruned {
+			return // everything is active or within retention; let the table grow
+		}
+	}
+}
+
+// Job looks a submitted job up by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Stats is the GET /v1/stats payload.
+type Stats struct {
+	Experiments int           `json:"experiments"`
+	Workers     int           `json:"workers"`
+	QueueDepth  int           `json:"queueDepth"`
+	QueueCap    int           `json:"queueCap"`
+	Jobs        map[State]int `json:"jobs"`
+	Cache       CacheStats    `json:"cache"`
+}
+
+// Snapshot gathers current serving statistics.
+func (s *Server) Snapshot() Stats {
+	s.mu.Lock()
+	jobs := map[State]int{}
+	for _, j := range s.jobs {
+		jobs[j.View().State]++
+	}
+	queued := len(s.queue)
+	s.mu.Unlock()
+	return Stats{
+		Experiments: len(s.names),
+		Workers:     s.cfg.Workers,
+		QueueDepth:  queued,
+		QueueCap:    s.cfg.QueueDepth,
+		Jobs:        jobs,
+		Cache:       s.cache.Stats(),
+	}
+}

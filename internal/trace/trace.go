@@ -37,10 +37,26 @@ func Write(w io.Writer, reqs []host.Request) error {
 	return bw.Flush()
 }
 
-// Read parses a trace. It validates operations, addresses and sizes and
-// reports the offending line number on error.
+// Read parses a trace into a slice. It validates operations, addresses
+// and sizes and reports the offending line number on error. For traces
+// too large to materialize, use ReadFunc.
 func Read(r io.Reader) ([]host.Request, error) {
 	var out []host.Request
+	err := ReadFunc(r, func(req host.Request) error {
+		out = append(out, req)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadFunc parses a trace one request at a time, calling fn for each
+// without ever materializing the whole file. It performs the same
+// validation as Read. A non-nil error from fn stops the scan and is
+// returned unwrapped, so callers can end replay early with a sentinel.
+func ReadFunc(r io.Reader, fn func(host.Request) error) error {
 	sc := bufio.NewScanner(r)
 	lineNo := 0
 	for sc.Scan() {
@@ -51,7 +67,7 @@ func Read(r io.Reader) ([]host.Request, error) {
 		}
 		fields := strings.Fields(line)
 		if len(fields) != 3 {
-			return nil, fmt.Errorf("trace: line %d: want 'OP ADDR SIZE', got %q", lineNo, line)
+			return fmt.Errorf("trace: line %d: want 'OP ADDR SIZE', got %q", lineNo, line)
 		}
 		var req host.Request
 		switch fields[0] {
@@ -60,25 +76,27 @@ func Read(r io.Reader) ([]host.Request, error) {
 		case "W", "w":
 			req.Write = true
 		default:
-			return nil, fmt.Errorf("trace: line %d: unknown op %q", lineNo, fields[0])
+			return fmt.Errorf("trace: line %d: unknown op %q", lineNo, fields[0])
 		}
 		addr, err := strconv.ParseUint(strings.TrimPrefix(fields[1], "0x"), 16, 64)
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad address %q: %v", lineNo, fields[1], err)
+			return fmt.Errorf("trace: line %d: bad address %q: %v", lineNo, fields[1], err)
 		}
 		req.Addr = addr
 		size, err := strconv.Atoi(fields[2])
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad size %q: %v", lineNo, fields[2], err)
+			return fmt.Errorf("trace: line %d: bad size %q: %v", lineNo, fields[2], err)
 		}
 		if !packet.ValidSize(size) {
-			return nil, fmt.Errorf("trace: line %d: size %d not a flit multiple in [16,128]", lineNo, size)
+			return fmt.Errorf("trace: line %d: size %d not a flit multiple in [16,128]", lineNo, size)
 		}
 		req.Size = size
-		out = append(out, req)
+		if err := fn(req); err != nil {
+			return err
+		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("trace: %v", err)
+		return fmt.Errorf("trace: %v", err)
 	}
-	return out, nil
+	return nil
 }

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -108,5 +109,56 @@ func TestRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestReadFuncStreams(t *testing.T) {
+	src := "R 0x40 32\nW 0x80 16\nR 0x100 128\n"
+	want, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []host.Request
+	if err := ReadFunc(strings.NewReader(src), func(r host.Request) error {
+		got = append(got, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d requests, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("entry %d: streamed %+v, Read %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadFuncEarlyStop(t *testing.T) {
+	stop := errors.New("enough")
+	src := "R 0x40 32\nW 0x80 16\nthis line would be a parse error\n"
+	n := 0
+	err := ReadFunc(strings.NewReader(src), func(host.Request) error {
+		n++
+		if n == 2 {
+			return stop
+		}
+		return nil
+	})
+	// The sentinel comes back unwrapped and the bad third line is never
+	// reached.
+	if !errors.Is(err, stop) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if n != 2 {
+		t.Fatalf("callback ran %d times, want 2", n)
+	}
+}
+
+func TestReadFuncValidates(t *testing.T) {
+	err := ReadFunc(strings.NewReader("R 0x0 17\n"), func(host.Request) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("err = %v, want line-1 size error", err)
 	}
 }

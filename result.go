@@ -1,6 +1,7 @@
 package hmcsim
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"strings"
@@ -75,8 +76,12 @@ func (s Series) Lookup(label string, x float64) (float64, bool) {
 
 // Runner is a named, self-describing experiment. The paper's tables and
 // figures implement it via the registry in internal/exp.
+//
+// Run observes ctx between sweep points: cancelling it makes the runner
+// return early with a partial (and therefore meaningless) Result, which
+// the caller must discard after checking ctx.Err().
 type Runner interface {
 	Name() string
 	Describe() string
-	Run(o Options) Result
+	Run(ctx context.Context, o Options) Result
 }

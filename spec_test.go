@@ -1,0 +1,170 @@
+package hmcsim_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"hmcsim"
+)
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	in := hmcsim.Result{
+		Name:    "fig6",
+		Title:   "Figure 6",
+		Options: hmcsim.Options{Quick: true, Seed: 42, Workers: 8},
+		Series: []hmcsim.Series{
+			{
+				Name: "bandwidth", Unit: "GB/s",
+				Points: []hmcsim.Point{
+					{Label: "1 bank", X: 16, Y: 1.625},
+					{Label: "16 vaults", X: 128, Y: 22.75},
+				},
+			},
+			{
+				Name:   "avg-latency", // no unit: omitempty path
+				Points: []hmcsim.Point{{X: 0, Y: 0}},
+			},
+		},
+		Text: "human form",
+	}
+	blob, err := in.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back hmcsim.Result
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	// Workers and Text are deliberately excluded from the wire form;
+	// everything else must survive.
+	in.Options.Workers = 0
+	in.Text = ""
+	if !reflect.DeepEqual(in, back) {
+		t.Fatalf("round trip changed the result:\n in: %+v\nout: %+v", in, back)
+	}
+}
+
+func TestSeriesJSONRoundTrip(t *testing.T) {
+	in := hmcsim.Series{
+		Name: "max-latency", Unit: "ns",
+		Points: []hmcsim.Point{{Label: "pinned1/64B", X: 5, Y: 1234.5}, {X: 6, Y: 0}},
+	}
+	blob, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back hmcsim.Series
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, back) {
+		t.Fatalf("round trip changed the series:\n in: %+v\nout: %+v", in, back)
+	}
+}
+
+func TestSpecKeyStability(t *testing.T) {
+	// The same spec spelled with different JSON field orders and
+	// whitespace must canonicalize to the same key.
+	spellings := []string{
+		`{"exp":"fig6","options":{"quick":true,"seed":7}}`,
+		`{"options":{"seed":7,"quick":true},"exp":"fig6"}`,
+		`{
+			"options": { "quick": true, "seed": 7 },
+			"exp": "fig6"
+		}`,
+	}
+	keys := map[string]bool{}
+	for _, src := range spellings {
+		var s hmcsim.Spec
+		if err := json.Unmarshal([]byte(src), &s); err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		k, err := s.Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[k] = true
+	}
+	if len(keys) != 1 {
+		t.Fatalf("field order changed the key: %v", keys)
+	}
+
+	// The key must be deterministic across calls...
+	s := hmcsim.Spec{Exp: "fig6", Options: hmcsim.Options{Quick: true, Seed: 7}}
+	k1, err := s.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := s.Key()
+	if k1 != k2 || !keys[k1] {
+		t.Fatalf("struct-built key %s != JSON-built key set %v", k1, keys)
+	}
+	if len(k1) != 64 {
+		t.Fatalf("key %q is not hex SHA-256", k1)
+	}
+}
+
+func TestSpecKeyDiscriminates(t *testing.T) {
+	base := hmcsim.Spec{Exp: "fig6", Options: hmcsim.Options{Quick: true, Seed: 7}}
+	variants := []hmcsim.Spec{
+		{Exp: "fig13", Options: base.Options},
+		{Exp: "fig6", Options: hmcsim.Options{Quick: false, Seed: 7}},
+		{Exp: "fig6", Options: hmcsim.Options{Quick: true, Seed: 8}},
+	}
+	bk, err := base.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range variants {
+		vk, err := v.Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vk == bk {
+			t.Errorf("distinct spec %+v collides with %+v", v, base)
+		}
+	}
+
+	// Workers changes only wall-clock time, never results, so it must
+	// not split the cache.
+	w := base
+	w.Options.Workers = 16
+	wk, err := w.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wk != bk {
+		t.Error("Workers changed the content address")
+	}
+}
+
+func TestSpecKeyPreservesLargeSeeds(t *testing.T) {
+	// Seeds above 2^53 must survive canonicalization exactly (no float64
+	// round-trip): nearby seeds that a float64 would conflate must keep
+	// distinct keys.
+	a := hmcsim.Spec{Exp: "fig6", Options: hmcsim.Options{Seed: 1<<63 + 1}}
+	b := hmcsim.Spec{Exp: "fig6", Options: hmcsim.Options{Seed: 1<<63 + 2}}
+	ak, err := a.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk, err := b.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ak == bk {
+		t.Fatal("adjacent 64-bit seeds collapsed to one key")
+	}
+	canon, err := a.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back hmcsim.Spec
+	if err := json.Unmarshal(canon, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Options.Seed != a.Options.Seed {
+		t.Fatalf("canonical form altered the seed: %d -> %d", a.Options.Seed, back.Options.Seed)
+	}
+}

@@ -1,6 +1,7 @@
 package hmcsim
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -14,7 +15,13 @@ import (
 // seeds from the job index — so that results are bit-identical whatever
 // the worker count. Engines are single-threaded, so confining one
 // System per job keeps the whole sweep data-race-free without locks.
-func Sweep[T any](workers, n int, job func(i int) T) []T {
+//
+// Cancelling ctx stops the sweep from scheduling further jobs: points
+// already running finish (the deterministic engines are not
+// interruptible mid-simulation), unscheduled slots keep their zero
+// value, and the partial slice is returned. Callers that care must
+// check ctx.Err() and discard the result.
+func Sweep[T any](ctx context.Context, workers, n int, job func(i int) T) []T {
 	if n <= 0 {
 		return nil
 	}
@@ -27,6 +34,9 @@ func Sweep[T any](workers, n int, job func(i int) T) []T {
 	}
 	if workers == 1 {
 		for i := range out {
+			if ctx.Err() != nil {
+				return out
+			}
 			out[i] = job(i)
 		}
 		return out
@@ -39,6 +49,9 @@ func Sweep[T any](workers, n int, job func(i int) T) []T {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1))
 				if i >= n {
 					return
@@ -52,9 +65,10 @@ func Sweep[T any](workers, n int, job func(i int) T) []T {
 }
 
 // Sweep2 runs the cross product of two dimensions, outer-major, and is
-// sugar for the common (size x pattern)-shaped experiment sweeps.
-func Sweep2[A, B, T any](workers int, as []A, bs []B, job func(a A, b B) T) []T {
-	return Sweep(workers, len(as)*len(bs), func(i int) T {
+// sugar for the common (size x pattern)-shaped experiment sweeps. It
+// inherits Sweep's cancellation semantics.
+func Sweep2[A, B, T any](ctx context.Context, workers int, as []A, bs []B, job func(a A, b B) T) []T {
+	return Sweep(ctx, workers, len(as)*len(bs), func(i int) T {
 		return job(as[i/len(bs)], bs[i%len(bs)])
 	})
 }
