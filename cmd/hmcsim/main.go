@@ -13,6 +13,7 @@
 //
 //	hmcsim [-exp name[,name...]|all] [-quick] [-seed N] [-workers N]
 //	       [-format text|json] [-list] [-server URL]
+//	       [-cpuprofile file] [-memprofile file]
 package main
 
 import (
@@ -23,6 +24,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -47,11 +50,40 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	format := fs.String("format", "text", "output format: text or json")
 	list := fs.Bool("list", false, "list registered experiments and exit")
 	server := fs.String("server", "", "hmcsimd base URL; run remotely instead of simulating locally")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
 		}
 		return 2
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, "hmcsim:", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, "hmcsim:", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(stderr, "hmcsim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "hmcsim:", err)
+			}
+		}()
 	}
 	var client *service.Client
 	if *server != "" {

@@ -16,6 +16,16 @@
 //	GET    /v1/experiments registry listing
 //	GET    /v1/stats       queue, worker, job and cache statistics
 //	GET    /v1/healthz     liveness probe
+//	GET    /debug/pprof/   runtime profiles (CPU, heap, ...; requires -pprof)
+//
+// With -pprof the endpoints profile the daemon under live load:
+//
+//	go tool pprof http://localhost:8080/debug/pprof/profile?seconds=10
+//	go tool pprof http://localhost:8080/debug/pprof/heap
+//
+// They are opt-in because profiling is itself a workload (a CPU profile
+// pins a core for its duration) and dumps expose internals; only enable
+// them where the listen address is trusted.
 package main
 
 import (
@@ -25,6 +35,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,6 +51,7 @@ func main() {
 	queue := flag.Int("queue", 64, "queued-job bound; submissions beyond it get 503")
 	cache := flag.Int("cache", 256, "result-cache entries (LRU)")
 	maxJobs := flag.Int("maxjobs", 1024, "retained job records; oldest terminal records beyond this are dropped")
+	withPprof := flag.Bool("pprof", false, "serve /debug/pprof/ profiling endpoints (expose only on trusted addresses)")
 	flag.Parse()
 
 	svc := service.New(service.Config{
@@ -49,7 +61,21 @@ func main() {
 		MaxJobs:      *maxJobs,
 	}, exp.Runners())
 
-	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	// The service handler owns the API routes; with -pprof the profiling
+	// handlers mount beside it so the simulation hot paths can be
+	// profiled in service mode, under the traffic that actually stresses
+	// them.
+	mux := http.NewServeMux()
+	mux.Handle("/", svc.Handler())
+	if *withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

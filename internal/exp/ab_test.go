@@ -1,0 +1,51 @@
+package exp
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestABGuard is the kernel-rewrite safety net: every registered
+// experiment's quick-mode Result JSON must be byte-identical to the
+// golden snapshot in testdata/ab/, which was captured from the
+// pre-optimization (container/heap + slice-FIFO + per-packet-alloc)
+// kernel. Any change to event ordering, queue semantics, or packet
+// lifetime that alters simulation results shows up here as a diff.
+//
+// Regenerate the snapshots (only when a result change is intended and
+// understood) with:
+//
+//	HMCSIM_AB_UPDATE=1 go test ./internal/exp -run TestABGuard
+func TestABGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("A/B guard runs every registered experiment; skipped with -short")
+	}
+	update := os.Getenv("HMCSIM_AB_UPDATE") != ""
+	if update {
+		if err := os.MkdirAll(filepath.Join("testdata", "ab"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			got := runJSON(t, name, Options{Quick: true})
+			path := filepath.Join("testdata", "ab", name+".json")
+			if update {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden snapshot (run with HMCSIM_AB_UPDATE=1 to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s: Result JSON differs from the pre-optimization golden snapshot (%d vs %d bytes); the kernel change altered simulation behavior", name, len(got), len(want))
+			}
+		})
+	}
+}

@@ -96,7 +96,10 @@ func New(eng *sim.Engine, cfg Config, deliverResp func(*packet.Packet)) *HMC {
 		}
 	}
 
-	// Vault controllers and their fabric adapters.
+	// Vault controllers and their fabric adapters. The vault is the end
+	// of the request packet's life: once the controller accepts the
+	// transaction, the wire packet and its fabric message go back to
+	// their free lists.
 	vaultOutlets := make([]noc.Outlet, addr.Vaults)
 	for v := 0; v < addr.Vaults; v++ {
 		v := v
@@ -106,13 +109,21 @@ func New(eng *sim.Engine, cfg Config, deliverResp func(*packet.Packet)) *HMC {
 		vlt := vault.New(eng, vcfg, &respAdapter{h: h, quad: quad})
 		h.vaults[v] = vlt
 		vaultOutlets[v] = noc.FuncOutlet{
-			Try:    func(m *noc.Message) bool { return vlt.TryAccept(m.Tr) },
+			Try: func(m *noc.Message) bool {
+				if !vlt.TryAccept(m.Tr) {
+					return false
+				}
+				packet.PutPacket(m.Pkt)
+				noc.PutMessage(m)
+				return true
+			},
 			Notify: func(_ *noc.Message, fn func()) { vlt.NotifyAccept(fn) },
 		}
 	}
 
 	// Link egress adapters: responses leave through the links' response
-	// direction, flow-controlled by the host-side buffer tokens.
+	// direction, flow-controlled by the host-side buffer tokens. The
+	// packet rides the link onward; the fabric message ends here.
 	linkEgress := make([]noc.Outlet, cfg.Links)
 	for l := 0; l < cfg.Links; l++ {
 		l := l
@@ -122,6 +133,7 @@ func New(eng *sim.Engine, cfg Config, deliverResp func(*packet.Packet)) *HMC {
 					return false
 				}
 				h.respsOut++
+				noc.PutMessage(m)
 				return true
 			},
 			Notify: func(_ *noc.Message, fn func()) { h.links[l].Resp.NotifyTokens(fn) },
@@ -135,8 +147,8 @@ func New(eng *sim.Engine, cfg Config, deliverResp func(*packet.Packet)) *HMC {
 	// staging node is what lets the next request deserialize.
 	for l := 0; l < cfg.Links; l++ {
 		l := l
-		h.fabric.ReqIngress[l].OnForward = func(m *noc.Message) {
-			h.links[l].Req.Release(m.Pkt.Flits())
+		h.fabric.ReqIngress[l].OnForward = func(flits int) {
+			h.links[l].Req.Release(flits)
 		}
 	}
 	return h
@@ -149,13 +161,25 @@ type respAdapter struct {
 }
 
 func (a *respAdapter) TryOut(tr *packet.Transaction) bool {
-	m := &noc.Message{Tr: tr, Pkt: tr.ResponsePacket(tr.Tag)}
-	return a.h.fabric.RespIngress(a.quad).TryOut(m)
+	m := noc.GetMessage(tr, tr.ResponsePacket(tr.Tag))
+	if !a.h.fabric.RespIngress(a.quad).TryOut(m) {
+		// Rejected: the fabric did not take ownership, so the speculative
+		// response packet and its message go straight back to the free
+		// lists instead of becoming garbage on every congested attempt.
+		packet.PutPacket(m.Pkt)
+		noc.PutMessage(m)
+		return false
+	}
+	return true
 }
 
 func (a *respAdapter) NotifyOut(tr *packet.Transaction, fn func()) {
-	m := &noc.Message{Tr: tr, Pkt: tr.ResponsePacket(tr.Tag)}
+	// NotifyOut only routes the message to find the right credit pool; it
+	// does not retain it, so a transient pooled message (no packet
+	// needed: response routing reads only the transaction) suffices.
+	m := noc.GetMessage(tr, nil)
 	a.h.fabric.RespIngress(a.quad).NotifyOut(m, fn)
+	noc.PutMessage(m)
 }
 
 // receiveRequest handles a request packet arriving on link l.
@@ -166,7 +190,7 @@ func (h *HMC) receiveRequest(l int, p *packet.Packet) {
 	}
 	h.reqsIn++
 	tr.TLinkTx = h.eng.Now()
-	h.fabric.InjectRequest(l, &noc.Message{Tr: tr, Pkt: p})
+	h.fabric.InjectRequest(l, noc.GetMessage(tr, p))
 }
 
 // ReqDir returns the request direction of link l; the host controller

@@ -45,6 +45,9 @@ type GUPSPort struct {
 
 	Mon Monitor
 
+	tickT     *sim.Timer // reusable clock-tick event
+	unblockFn func()     // pre-bound tag-pool waiter
+
 	active  bool
 	next    uint64 // linear-mode cursor
 	issued  uint64
@@ -70,6 +73,13 @@ func NewGUPSPort(eng *sim.Engine, hostCfg Config, ctrl *Controller, mapp *addr.M
 		rng:   sim.NewRand(cfg.Seed + uint64(id)*0x9E3779B9 + 1),
 		tags:  newTagPool(id, tags),
 	}
+	p.tickT = eng.NewTimer(p.tick)
+	p.unblockFn = func() {
+		p.blocked = false
+		if p.active {
+			p.tickT.At(p.clock.Next(p.eng.Now()))
+		}
+	}
 	ctrl.register(id, p)
 	return p
 }
@@ -83,7 +93,7 @@ func (p *GUPSPort) Start() {
 		return
 	}
 	p.active = true
-	p.eng.At(p.clock.Next(p.eng.Now()), p.tick)
+	p.tickT.At(p.clock.Next(p.eng.Now()))
 }
 
 // Stop deactivates the port; in-flight requests still complete.
@@ -103,19 +113,14 @@ func (p *GUPSPort) tick() {
 	if !ok {
 		if !p.blocked {
 			p.blocked = true
-			p.tags.notify(func() {
-				p.blocked = false
-				if p.active {
-					p.eng.At(p.clock.Next(p.eng.Now()), p.tick)
-				}
-			})
+			p.tags.notify(p.unblockFn)
 		}
 		return
 	}
 	tr := p.generate(tag)
 	p.issued++
 	p.ctrl.Submit(tr)
-	p.eng.At(p.clock.Next(p.eng.Now()+1), p.tick)
+	p.tickT.At(p.clock.Next(p.eng.Now() + 1))
 }
 
 // generate builds the next transaction.
@@ -136,16 +141,16 @@ func (p *GUPSPort) generate(tag uint16) *packet.Transaction {
 		write = p.issued%2 == 1
 	}
 	loc := p.mapp.Decode(a)
-	return &packet.Transaction{
-		ID:    p.issued | uint64(p.id)<<56,
-		Write: write,
-		Addr:  a,
-		Size:  p.cfg.Size,
-		Port:  p.id,
-		Tag:   tag,
-		Vault: loc.Vault, Quadrant: loc.Quadrant, Bank: loc.Bank, Row: loc.Row,
-		TGen: p.eng.Now(),
-	}
+	tr := packet.GetTransaction()
+	tr.ID = p.issued | uint64(p.id)<<56
+	tr.Write = write
+	tr.Addr = a
+	tr.Size = p.cfg.Size
+	tr.Port = p.id
+	tr.Tag = tag
+	tr.Vault, tr.Quadrant, tr.Bank, tr.Row = loc.Vault, loc.Quadrant, loc.Bank, loc.Row
+	tr.TGen = p.eng.Now()
+	return tr
 }
 
 // complete implements the controller callback: GUPS discards response
@@ -155,4 +160,5 @@ func (p *GUPSPort) complete(tr *packet.Transaction) {
 	tr.TDone = p.eng.Now()
 	p.Mon.record(tr)
 	p.tags.put(tr.Tag)
+	packet.PutTransaction(tr)
 }

@@ -93,6 +93,11 @@ type completer interface {
 // packet-processing engine in front of the link SerDes. Its throughput is
 // a budget of flit slots per cycle plus a per-packet overhead, consumed by
 // both directions.
+//
+// Packets move through fixed-order stages — the shared packet engine,
+// then the Tx or Rx pipeline — each backed by a ring of in-flight work
+// and a callback bound once at construction, so steady-state request and
+// response processing allocates nothing.
 type Controller struct {
 	eng   *sim.Engine
 	cfg   Config
@@ -103,8 +108,30 @@ type Controller struct {
 	slotTime sim.Time
 	rr       int
 
+	jobs     sim.Ring[ctrlJob] // on the packet engine, FIFO by Reserve order
+	engineFn func()
+	txq      sim.Ring[*packet.Packet] // in the Tx pipeline (constant TxLatency)
+	txFn     func()
+	rxq      sim.Ring[*packet.Transaction] // in the Rx pipeline (constant RxLatency)
+	rxFn     func()
+
+	// blockedq[l] holds requests that found every link full, parked on
+	// link l's token pool (the first link their attempt round-robin
+	// tried). Each park pairs one ring push with one waiter registration
+	// on the same pool, and both fire in FIFO order, so retryFns[l]
+	// always pops the packet whose registration woke it.
+	blockedq []sim.Ring[*packet.Packet]
+	retryFns []func()
+
 	reqsSent  uint64
 	respsRecv uint64
+}
+
+// ctrlJob is one packet occupying the shared engine: a request on its
+// way out or a response on its way in.
+type ctrlJob struct {
+	pkt  *packet.Packet
+	resp bool
 }
 
 // NewController builds the controller for the given device.
@@ -113,7 +140,7 @@ func NewController(eng *sim.Engine, cfg Config, dev Device) *Controller {
 		panic("host: CtrlFlitSlotsPerCycle must be positive")
 	}
 	period := cfg.Clock().Period
-	return &Controller{
+	c := &Controller{
 		eng:      eng,
 		cfg:      cfg,
 		dev:      dev,
@@ -121,6 +148,16 @@ func NewController(eng *sim.Engine, cfg Config, dev Device) *Controller {
 		engine:   sim.NewServer(eng),
 		slotTime: sim.Time(float64(period)/cfg.CtrlFlitSlotsPerCycle + 0.5),
 	}
+	c.engineFn = c.engineDone
+	c.txFn = c.txDone
+	c.rxFn = c.rxDone
+	c.blockedq = make([]sim.Ring[*packet.Packet], dev.Links())
+	c.retryFns = make([]func(), dev.Links())
+	for l := range c.retryFns {
+		l := l
+		c.retryFns[l] = func() { c.sendReq(c.blockedq[l].Pop()) }
+	}
+	return c
 }
 
 // service returns the controller processing time for one packet.
@@ -143,9 +180,41 @@ func (c *Controller) register(id int, p completer) {
 func (c *Controller) Submit(tr *packet.Transaction) {
 	tr.TPortOut = c.eng.Now()
 	pkt := tr.RequestPacket(tr.Tag)
-	c.engine.Reserve(c.service(pkt), func() {
-		c.eng.Schedule(c.cfg.TxLatency, func() { c.sendReq(pkt) })
-	})
+	c.jobs.Push(ctrlJob{pkt: pkt})
+	c.engine.Reserve(c.service(pkt), c.engineFn)
+}
+
+// engineDone fires when the packet engine finishes its oldest
+// reservation; reservations complete in Reserve order, so the head of
+// the job ring is the packet that just finished processing.
+func (c *Controller) engineDone() {
+	j := c.jobs.Pop()
+	if j.resp {
+		tr := j.pkt.Tr
+		// Only now does the packet leave the link receive buffer; it has
+		// served its purpose, so it goes back to the free list.
+		c.dev.ReleaseResp(j.pkt.Link, j.pkt.Flits())
+		packet.PutPacket(j.pkt)
+		c.rxq.Push(tr)
+		c.eng.Schedule(c.cfg.RxLatency, c.rxFn)
+		return
+	}
+	c.txq.Push(j.pkt)
+	c.eng.Schedule(c.cfg.TxLatency, c.txFn)
+}
+
+// txDone fires TxLatency after a request finished the packet engine.
+func (c *Controller) txDone() { c.sendReq(c.txq.Pop()) }
+
+// rxDone fires RxLatency after a response left the link buffer: the
+// transaction returns to its issuing port.
+func (c *Controller) rxDone() {
+	tr := c.rxq.Pop()
+	port, ok := c.ports[tr.Port]
+	if !ok {
+		panic(fmt.Sprintf("host: response for unknown port %d", tr.Port))
+	}
+	port.complete(tr)
 }
 
 // sendReq pushes the packet onto a link, round-robining across links and
@@ -163,25 +232,16 @@ func (c *Controller) sendReq(pkt *packet.Packet) {
 			return
 		}
 	}
-	c.dev.ReqDir(first).NotifyTokens(func() { c.sendReq(pkt) })
+	c.blockedq[first].Push(pkt)
+	c.dev.ReqDir(first).NotifyTokens(c.retryFns[first])
 }
 
 // OnResponse is wired as the cube's response delivery callback.
 func (c *Controller) OnResponse(pkt *packet.Packet) {
-	tr := pkt.Tr
-	tr.TLinkRx = c.eng.Now()
+	pkt.Tr.TLinkRx = c.eng.Now()
 	c.respsRecv++
-	c.engine.Reserve(c.service(pkt), func() {
-		// Only now does the packet leave the link receive buffer.
-		c.dev.ReleaseResp(pkt.Link, pkt.Flits())
-		c.eng.Schedule(c.cfg.RxLatency, func() {
-			port, ok := c.ports[tr.Port]
-			if !ok {
-				panic(fmt.Sprintf("host: response for unknown port %d", tr.Port))
-			}
-			port.complete(tr)
-		})
-	})
+	c.jobs.Push(ctrlJob{pkt: pkt, resp: true})
+	c.engine.Reserve(c.service(pkt), c.engineFn)
 }
 
 // RequestsSent returns the number of request packets pushed to links.
@@ -198,7 +258,7 @@ func (c *Controller) Utilization(now sim.Time) float64 { return c.engine.Utiliza
 // 11-bit field can address them.
 type tagPool struct {
 	free    []uint16
-	waiters []func()
+	waiters sim.Waiters
 	size    int
 }
 
@@ -221,14 +281,10 @@ func (p *tagPool) take() (uint16, bool) {
 
 func (p *tagPool) put(t uint16) {
 	p.free = append(p.free, t)
-	w := p.waiters
-	p.waiters = nil
-	for _, fn := range w {
-		fn()
-	}
+	p.waiters.Fire()
 }
 
-func (p *tagPool) notify(fn func()) { p.waiters = append(p.waiters, fn) }
+func (p *tagPool) notify(fn func()) { p.waiters.Add(fn) }
 
 func (p *tagPool) outstanding() int { return p.size - len(p.free) }
 

@@ -31,6 +31,11 @@ type StreamPort struct {
 	Mon Monitor
 
 	channel *sim.Server
+	chanq   sim.Ring[*packet.Transaction] // on the readback channel, FIFO
+	chanFn  func()
+
+	tickT    *sim.Timer // reusable clock-tick event
+	resumeFn func()     // pre-bound tag-pool waiter
 
 	trace   []Request
 	cursor  int
@@ -56,6 +61,13 @@ func NewStreamPort(eng *sim.Engine, hostCfg Config, ctrl *Controller, mapp *addr
 		tags:    newTagPool(id, hostCfg.StreamTagsPerPort),
 		channel: sim.NewServer(eng),
 	}
+	p.chanFn = p.chanDone
+	p.tickT = eng.NewTimer(p.tick)
+	p.resumeFn = func() {
+		if p.running {
+			p.tickT.At(p.clock.Next(p.eng.Now()))
+		}
+	}
 	ctrl.register(id, p)
 	return p
 }
@@ -72,7 +84,7 @@ func (p *StreamPort) Play(trace []Request) {
 	p.trace = trace
 	p.cursor = 0
 	p.running = true
-	p.eng.At(p.clock.Next(p.eng.Now()), p.tick)
+	p.tickT.At(p.clock.Next(p.eng.Now()))
 }
 
 // Busy reports whether the port still has work in flight.
@@ -92,45 +104,48 @@ func (p *StreamPort) tick() {
 	}
 	tag, ok := p.tags.take()
 	if !ok {
-		p.tags.notify(func() {
-			if p.running {
-				p.eng.At(p.clock.Next(p.eng.Now()), p.tick)
-			}
-		})
+		p.tags.notify(p.resumeFn)
 		return
 	}
 	req := p.trace[p.cursor]
 	p.cursor++
 	loc := p.mapp.Decode(req.Addr)
-	tr := &packet.Transaction{
-		ID:    p.issued | uint64(p.id)<<56,
-		Write: req.Write,
-		Addr:  req.Addr,
-		Size:  req.Size,
-		Port:  p.id,
-		Tag:   tag,
-		Vault: loc.Vault, Quadrant: loc.Quadrant, Bank: loc.Bank, Row: loc.Row,
-		TGen: p.eng.Now(),
-	}
+	tr := packet.GetTransaction()
+	tr.ID = p.issued | uint64(p.id)<<56
+	tr.Write = req.Write
+	tr.Addr = req.Addr
+	tr.Size = req.Size
+	tr.Port = p.id
+	tr.Tag = tag
+	tr.Vault, tr.Quadrant, tr.Bank, tr.Row = loc.Vault, loc.Quadrant, loc.Bank, loc.Row
+	tr.TGen = p.eng.Now()
 	p.issued++
 	p.pending++
 	p.ctrl.Submit(tr)
-	p.eng.At(p.clock.Next(p.eng.Now()+1), p.tick)
+	p.tickT.At(p.clock.Next(p.eng.Now() + 1))
 }
 
 // complete streams the response data to the host over the port's channel
 // before retiring the transaction.
 func (p *StreamPort) complete(tr *packet.Transaction) {
-	flits := tr.ResponsePacket(tr.Tag).Flits()
+	flits := packet.ResponseFlits(tr.Write, tr.Size)
 	perCycleBytes := p.cfg.StreamChanBytesPerCycle
 	cycles := (flits*packet.FlitBytes + perCycleBytes - 1) / perCycleBytes
-	p.channel.Reserve(p.clock.Cycles(int64(cycles)), func() {
-		tr.TDone = p.eng.Now()
-		p.Mon.record(tr)
-		p.tags.put(tr.Tag)
-		p.pending--
-		p.maybeIdle()
-	})
+	p.chanq.Push(tr)
+	p.channel.Reserve(p.clock.Cycles(int64(cycles)), p.chanFn)
+}
+
+// chanDone fires when the readback channel finishes its oldest transfer;
+// transfers complete in Reserve order, so the head of the ring is the
+// transaction whose response just finished streaming to the host.
+func (p *StreamPort) chanDone() {
+	tr := p.chanq.Pop()
+	tr.TDone = p.eng.Now()
+	p.Mon.record(tr)
+	p.tags.put(tr.Tag)
+	packet.PutTransaction(tr)
+	p.pending--
+	p.maybeIdle()
 }
 
 func (p *StreamPort) maybeIdle() {

@@ -54,14 +54,24 @@ func (c Config) FlitTime() sim.Time {
 
 // Dir is one direction of a link: a serializer, the far side's input
 // buffer tokens, and a delivery callback.
+//
+// Packets move through two fixed-order stages — the serializer, then the
+// wire — each backed by a ring of in-flight packets and a callback bound
+// once at construction, so steady-state transmission allocates nothing.
 type Dir struct {
-	name    string
-	eng     *sim.Engine
-	cfg     Config
-	ser     *sim.Server
-	tokens  *sim.TokenPool
-	rng     *sim.Rand
-	deliver func(*packet.Packet)
+	name     string
+	eng      *sim.Engine
+	cfg      Config
+	flitTime sim.Time
+	ser      *sim.Server
+	tokens   *sim.TokenPool
+	rng      *sim.Rand
+	deliver  func(*packet.Packet)
+
+	serq   sim.Ring[*packet.Packet] // on the serializer, FIFO by Reserve order
+	serFn  func()
+	wireq  sim.Ring[*packet.Packet] // on the wire, FIFO by constant WireLatency
+	wireFn func()
 
 	packets uint64
 	flits   uint64
@@ -80,15 +90,19 @@ func NewDir(eng *sim.Engine, name string, cfg Config, deliver func(*packet.Packe
 	if cfg.RxBufFlits <= 0 {
 		panic(fmt.Sprintf("link %s: RxBufFlits must be positive", name))
 	}
-	return &Dir{
-		name:    name,
-		eng:     eng,
-		cfg:     cfg,
-		ser:     sim.NewServer(eng),
-		tokens:  sim.NewTokenPool(cfg.RxBufFlits),
-		rng:     sim.NewRand(cfg.Seed),
-		deliver: deliver,
+	d := &Dir{
+		name:     name,
+		eng:      eng,
+		cfg:      cfg,
+		flitTime: cfg.FlitTime(),
+		ser:      sim.NewServer(eng),
+		tokens:   sim.NewTokenPool(cfg.RxBufFlits),
+		rng:      sim.NewRand(cfg.Seed),
+		deliver:  deliver,
 	}
+	d.serFn = d.serDone
+	d.wireFn = d.wireDone
+	return d
 }
 
 // TrySend begins transmitting p if the receiver has buffer tokens for all
@@ -111,21 +125,34 @@ func (d *Dir) NotifyTokens(fn func()) { d.tokens.Notify(fn) }
 func (d *Dir) Release(n int) { d.tokens.Release(n) }
 
 func (d *Dir) transmit(p *packet.Packet) {
-	flits := p.Flits()
-	d.ser.Reserve(d.cfg.FlitTime()*sim.Time(flits), func() {
-		if d.cfg.ErrorRate > 0 && d.rng.Float64() < d.cfg.ErrorRate {
-			// The receiver's CRC check fails; after the IRTRY exchange the
-			// packet is retransmitted from the retry buffer. Tokens remain
-			// held: the receiver reserved space for this packet.
-			d.retries++
-			d.eng.Schedule(d.cfg.RetryLatency, func() { d.transmit(p) })
-			return
-		}
-		d.packets++
-		d.flits += uint64(flits)
-		d.eng.Schedule(d.cfg.WireLatency, func() { d.deliver(p) })
-	})
+	d.serq.Push(p)
+	d.ser.Reserve(d.flitTime*sim.Time(p.Flits()), d.serFn)
 }
+
+// serDone fires when the serializer finishes its oldest reservation;
+// reservations complete in Reserve order, so the head of serq is the
+// packet that just finished.
+func (d *Dir) serDone() {
+	p := d.serq.Pop()
+	if d.cfg.ErrorRate > 0 && d.rng.Float64() < d.cfg.ErrorRate {
+		// The receiver's CRC check fails; after the IRTRY exchange the
+		// packet is retransmitted from the retry buffer. Tokens remain
+		// held: the receiver reserved space for this packet. The retry
+		// closure is the one allocation on this path; it only exists on
+		// lossy-link configurations.
+		d.retries++
+		d.eng.Schedule(d.cfg.RetryLatency, func() { d.transmit(p) })
+		return
+	}
+	d.packets++
+	d.flits += uint64(p.Flits())
+	d.wireq.Push(p)
+	d.eng.Schedule(d.cfg.WireLatency, d.wireFn)
+}
+
+// wireDone fires WireLatency after a packet finished serializing; the
+// latency is constant, so deliveries complete in transmission order.
+func (d *Dir) wireDone() { d.deliver(d.wireq.Pop()) }
 
 // Name returns the direction's diagnostic name.
 func (d *Dir) Name() string { return d.name }

@@ -23,6 +23,7 @@ package noc
 
 import (
 	"fmt"
+	"sync"
 
 	"hmcsim/internal/packet"
 	"hmcsim/internal/sim"
@@ -39,11 +40,34 @@ type Message struct {
 // Flits returns the message's current wire length.
 func (m *Message) Flits() int { return m.Pkt.Flits() }
 
+// Messages ride a free list: the glue layer creates one per injection
+// and the terminal outlet (vault adapter, link egress) releases it, so
+// steady-state fabric traffic allocates nothing.
+var msgPool = sync.Pool{New: func() any { return new(Message) }}
+
+// GetMessage returns a Message carrying tr and pkt from the free list.
+func GetMessage(tr *packet.Transaction, pkt *packet.Packet) *Message {
+	m := msgPool.Get().(*Message)
+	m.Tr, m.Pkt = tr, pkt
+	return m
+}
+
+// PutMessage returns m to the free list. The caller must hold the only
+// live reference; m must not be touched afterwards.
+func PutMessage(m *Message) {
+	m.Tr, m.Pkt = nil, nil
+	msgPool.Put(m)
+}
+
 // Outlet is anything a router output can feed: another router's input,
 // a vault adapter, or a link-egress adapter. TryOut must not block; a
 // false return means "register fn with NotifyOut(m, fn) and try again
-// when it fires". NotifyOut takes the message so credit-managed outlets
-// can wake the caller on the specific resource the message needs.
+// when it fires". A true return transfers ownership of m to the outlet
+// — the caller must not touch the message afterwards, which is what
+// lets terminal outlets release it to the free list. NotifyOut takes
+// the message so credit-managed outlets can wake the caller on the
+// specific resource the message needs; it must use m synchronously and
+// not retain it.
 type Outlet interface {
 	TryOut(m *Message) bool
 	NotifyOut(m *Message, fn func())
@@ -81,9 +105,12 @@ type Router struct {
 	route   func(*Message) int
 	outlets []outState
 
-	// OnForward, when non-nil, runs every time a message leaves the
-	// router. Link-ingress nodes use it to return link-level tokens.
-	OnForward func(*Message)
+	// OnForward, when non-nil, runs every time a message of the given
+	// flit count leaves the router. Link-ingress nodes use it to return
+	// link-level tokens. It receives the length rather than the message
+	// because by the time it fires the downstream outlet owns (and may
+	// already have released) the message.
+	OnForward func(flits int)
 
 	received  uint64
 	forwarded uint64
@@ -95,6 +122,14 @@ type outState struct {
 	server  *sim.Server
 	queue   *sim.Queue[*Message]
 	pumping bool
+
+	// inflight is the message popped from the queue and currently being
+	// serialized, flown, or retried against the downstream outlet; the
+	// pre-bound callbacks below read it so no per-message closures are
+	// needed.
+	inflight *Message
+	serFn    func() // serialization finished: start the hop
+	delivFn  func() // hop finished (or downstream freed up): deliver
 }
 
 // NewRouter builds a router. route maps a message to an outlet index in
@@ -111,16 +146,18 @@ func NewRouter(eng *sim.Engine, name string, cfg Config, route func(*Message) in
 		outlets: make([]outState, len(outlets)),
 	}
 	for i, o := range outlets {
+		i := i
 		var credits *sim.TokenPool
 		if cfg.InputBuffer > 0 {
 			credits = sim.NewTokenPool(cfg.InputBuffer)
 		}
-		r.outlets[i] = outState{
-			outlet:  o,
-			credits: credits,
-			server:  sim.NewServer(eng),
-			queue:   sim.NewQueue[*Message](0), // bounded by the credit pool
-		}
+		st := &r.outlets[i]
+		st.outlet = o
+		st.credits = credits
+		st.server = sim.NewServer(eng)
+		st.queue = sim.NewQueue[*Message](0) // bounded by the credit pool
+		st.serFn = func() { r.eng.Schedule(r.cfg.HopLatency, st.delivFn) }
+		st.delivFn = func() { r.deliver(i) }
 	}
 	return r
 }
@@ -174,28 +211,39 @@ func (r *Router) accept(m *Message) {
 // then deliver it downstream after the hop latency. If the downstream is
 // full the message holds the output — head-of-line blocking at a congested
 // vault or link, exactly the contention mechanism under study.
+//
+// At most one message per output is past the queue at a time (pumping
+// stays set until delivery succeeds), so the in-flight message lives in
+// the outState slot and the pre-bound serFn/delivFn callbacks carry no
+// per-message state.
 func (r *Router) pump(i int) {
 	o := &r.outlets[i]
 	if o.pumping {
 		return
 	}
-	m, ok := o.queue.Peek()
+	m, ok := o.queue.Pop(r.eng.Now())
 	if !ok {
 		return
 	}
 	o.pumping = true
-	o.queue.Pop(r.eng.Now())
-	o.server.Reserve(r.cfg.FlitTime*sim.Time(m.Flits()), func() {
-		r.eng.Schedule(r.cfg.HopLatency, func() { r.deliver(i, m) })
-	})
+	o.inflight = m
+	o.server.Reserve(r.cfg.FlitTime*sim.Time(m.Flits()), o.serFn)
 }
 
-func (r *Router) deliver(i int, m *Message) {
+func (r *Router) deliver(i int) {
 	o := &r.outlets[i]
+	m := o.inflight
+	var flits int
+	if r.OnForward != nil {
+		flits = m.Flits() // read before the outlet takes ownership
+	}
 	if !o.outlet.TryOut(m) {
-		o.outlet.NotifyOut(m, func() { r.deliver(i, m) })
+		o.outlet.NotifyOut(m, o.delivFn)
 		return
 	}
+	// The outlet now owns m; a terminal outlet may already have released
+	// it to the free list, so it must not be touched below this line.
+	o.inflight = nil
 	// The credit is held until the message has fully left the router,
 	// keeping each pool a true bound on per-output occupancy.
 	if o.credits != nil {
@@ -203,7 +251,7 @@ func (r *Router) deliver(i int, m *Message) {
 	}
 	r.forwarded++
 	if r.OnForward != nil {
-		r.OnForward(m)
+		r.OnForward(flits)
 	}
 	o.pumping = false
 	r.pump(i)

@@ -133,7 +133,7 @@ func TestRouterUnboundedIngress(t *testing.T) {
 	cfg.InputBuffer = 0
 	released := 0
 	r := NewRouter(eng, "in", cfg, func(*Message) int { return 0 }, []Outlet{s})
-	r.OnForward = func(*Message) { released++ }
+	r.OnForward = func(int) { released++ }
 	eng.Schedule(0, func() {
 		for i := 0; i < 50; i++ {
 			r.Inject(msg(0, 0, 0, 16))

@@ -190,17 +190,24 @@ func (t *Transaction) Latency() sim.Time { return t.TDone - t.TGen }
 func (t *Transaction) HMCLatency() sim.Time { return t.TVaultOut - t.TLinkTx }
 
 // RequestPacket builds the wire packet for the transaction's request.
+// The packet comes from the free list; the component that consumes it
+// (the vault controller, for requests that reach DRAM) releases it with
+// PutPacket.
 func (t *Transaction) RequestPacket(tag uint16) *Packet {
 	cmd := CmdRead
 	if t.Write {
 		cmd = CmdWrite
 	}
+	p := GetPacket()
 	// Read requests carry the requested size in the command encoding but no
 	// data flits; DataFlits is zero for CmdRead regardless of Size.
-	return &Packet{Cmd: cmd, Tag: tag, Addr: t.Addr, Size: t.Size, SrcPort: t.Port, Link: t.Link, Tr: t}
+	p.Cmd, p.Tag, p.Addr, p.Size, p.SrcPort, p.Link, p.Tr = cmd, tag, t.Addr, t.Size, t.Port, t.Link, t
+	return p
 }
 
 // ResponsePacket builds the wire packet for the transaction's response.
+// The packet comes from the free list; the host controller releases it
+// with PutPacket when it drains the packet from the link buffer.
 func (t *Transaction) ResponsePacket(tag uint16) *Packet {
 	cmd := CmdReadResp
 	size := t.Size
@@ -208,7 +215,9 @@ func (t *Transaction) ResponsePacket(tag uint16) *Packet {
 		cmd = CmdWriteResp
 		size = 0
 	}
-	return &Packet{Cmd: cmd, Tag: tag, Addr: t.Addr, Size: size, SrcPort: t.Port, Link: t.Link, Tr: t}
+	p := GetPacket()
+	p.Cmd, p.Tag, p.Addr, p.Size, p.SrcPort, p.Link, p.Tr = cmd, tag, t.Addr, size, t.Port, t.Link, t
+	return p
 }
 
 // RoundTripBytes returns the counted request+response bytes for this

@@ -1,0 +1,43 @@
+package packet
+
+import "sync"
+
+// Free-list pools for the two object kinds the simulator creates per
+// transaction on its hot path. One request packet, one response packet
+// and one Transaction used to be garbage per memory access — at tens of
+// millions of simulated accesses per figure run that allocation (and the
+// GC scan load of keeping the heap populated with them) dominated kernel
+// time. Components now return objects at their explicit end-of-life
+// points: request packets when the vault controller accepts the
+// transaction, response packets when the host controller drains them
+// from the link buffer, transactions when the issuing port retires them.
+//
+// sync.Pool keeps the free lists safe to share between the many
+// single-threaded engines a sweep or the hmcsimd worker pool runs in
+// parallel. Determinism is unaffected: Put zeroes the object, so a Get
+// is indistinguishable from a fresh allocation.
+
+var packetPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// GetPacket returns a zeroed Packet from the free list.
+func GetPacket() *Packet { return packetPool.Get().(*Packet) }
+
+// PutPacket returns p to the free list. The caller must hold the only
+// live reference; p must not be touched afterwards.
+func PutPacket(p *Packet) {
+	*p = Packet{}
+	packetPool.Put(p)
+}
+
+var transactionPool = sync.Pool{New: func() any { return new(Transaction) }}
+
+// GetTransaction returns a zeroed Transaction from the free list.
+func GetTransaction() *Transaction { return transactionPool.Get().(*Transaction) }
+
+// PutTransaction returns t to the free list. Ports call it when a
+// transaction retires (after the monitor has recorded it); t must not be
+// touched afterwards.
+func PutTransaction(t *Transaction) {
+	*t = Transaction{}
+	transactionPool.Put(t)
+}

@@ -8,12 +8,15 @@
 // events, and components interact by scheduling closures. Higher-level
 // building blocks (bounded queues, busy servers, token pools) live in the
 // other files of this package.
+//
+// The kernel is also deliberately allocation-free on its steady-state hot
+// path: the event queue is a hand-specialized 4-ary heap of event structs
+// (no container/heap, no interface boxing), and components that wake up
+// repeatedly bind their callback once in a Timer instead of allocating a
+// closure per wakeup.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a simulation timestamp or duration in picoseconds.
 type Time int64
@@ -56,29 +59,24 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+// before orders events by time, then by insertion order. The (at, seq)
+// pair is unique per event, so the order is total and the pop sequence is
+// independent of the heap's internal layout — which is what lets the heap
+// arity be a pure performance choice.
+func (a *event) before(b *event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
 }
 
 // Engine is a discrete-event simulation kernel.
 // The zero value is ready to use.
+//
+// The event queue is a 4-ary min-heap stored in a flat slice. Compared to
+// the binary heap behind container/heap it does half the sift-down levels
+// (better cache behavior on the wide hot levels), and being typed it
+// avoids the interface{} boxing allocation container/heap pays on every
+// Push as well as the Less/Swap indirect calls on every sift step.
 type Engine struct {
-	pq     eventHeap
+	pq     []event
 	now    Time
 	seq    uint64
 	nfired uint64
@@ -111,7 +109,62 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.pq, event{at: t, seq: e.seq, fn: fn})
+	e.push(event{at: t, seq: e.seq, fn: fn})
+}
+
+// push appends ev and sifts it up. The hole-then-place form moves each
+// displaced parent once instead of swapping.
+func (e *Engine) push(ev event) {
+	pq := append(e.pq, ev)
+	i := len(pq) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !ev.before(&pq[parent]) {
+			break
+		}
+		pq[i] = pq[parent]
+		i = parent
+	}
+	pq[i] = ev
+	e.pq = pq
+}
+
+// pop removes and returns the minimum event.
+func (e *Engine) pop() event {
+	pq := e.pq
+	root := pq[0]
+	n := len(pq) - 1
+	last := pq[n]
+	pq[n] = event{} // drop the closure reference so the GC can collect it
+	e.pq = pq[:n]
+	if n > 0 {
+		pq = pq[:n]
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			// Smallest of up to four children.
+			min := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if pq[j].before(&pq[min]) {
+					min = j
+				}
+			}
+			if !pq[min].before(&last) {
+				break
+			}
+			pq[i] = pq[min]
+			i = min
+		}
+		pq[i] = last
+	}
+	return root
 }
 
 // Step executes the next event, if any, and reports whether one ran.
@@ -119,7 +172,7 @@ func (e *Engine) Step() bool {
 	if len(e.pq) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.pq).(event)
+	ev := e.pop()
 	e.now = ev.at
 	e.nfired++
 	ev.fn()
@@ -146,6 +199,30 @@ func (e *Engine) Drain() {
 	for e.Step() {
 	}
 }
+
+// Timer is a reusable event handle: the callback is bound once at
+// construction, so rescheduling the same wakeup — a port's clock tick, a
+// router's delivery hop, a bank's ready edge — costs one heap push and no
+// allocation. Components that used to write eng.Schedule(d, func() { ... })
+// on their hot path hold a Timer instead.
+//
+// A Timer may be scheduled while already pending; each schedule is an
+// independent firing, exactly as if the function were passed to
+// Engine.At directly.
+type Timer struct {
+	eng *Engine
+	fn  func()
+}
+
+// NewTimer binds fn to a reusable handle on e.
+func (e *Engine) NewTimer(fn func()) *Timer { return &Timer{eng: e, fn: fn} }
+
+// At schedules the timer's callback at absolute time t.
+func (t *Timer) At(at Time) { t.eng.At(at, t.fn) }
+
+// After schedules the timer's callback delay from now. A negative delay
+// is treated as zero.
+func (t *Timer) After(delay Time) { t.eng.Schedule(delay, t.fn) }
 
 // Clock describes a fixed-frequency clock domain and converts between
 // cycles and simulation time.

@@ -4,9 +4,12 @@ package sim
 // occupancy statistics so experiments can reason about queuing delay.
 //
 // Queue is generic over the element type; the simulator mostly stores
-// packet pointers in queues.
+// packet pointers in queues. The storage is a Ring, so Pop and RemoveAt
+// are O(1)/O(shift-to-nearest-end) instead of the O(n) slice shift the
+// original implementation paid on every dequeue, and steady-state
+// operation does not allocate.
 type Queue[T any] struct {
-	items    []T
+	ring     Ring[T]
 	capacity int
 
 	// Stats.
@@ -27,15 +30,15 @@ func NewQueue[T any](capacity int) *Queue[T] {
 func (q *Queue[T]) Cap() int { return q.capacity }
 
 // Len returns the current occupancy.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return q.ring.Len() }
 
 // Full reports whether the queue cannot accept another element.
 func (q *Queue[T]) Full() bool {
-	return q.capacity > 0 && len(q.items) >= q.capacity
+	return q.capacity > 0 && q.ring.Len() >= q.capacity
 }
 
 // Empty reports whether the queue holds no elements.
-func (q *Queue[T]) Empty() bool { return len(q.items) == 0 }
+func (q *Queue[T]) Empty() bool { return q.ring.Empty() }
 
 // Push appends v and reports whether it was accepted. Callers use the
 // boolean to model back-pressure; a false return leaves the queue unchanged.
@@ -44,10 +47,10 @@ func (q *Queue[T]) Push(now Time, v T) bool {
 		return false
 	}
 	q.account(now)
-	q.items = append(q.items, v)
+	q.ring.Push(v)
 	q.enq++
-	if len(q.items) > q.maxOcc {
-		q.maxOcc = len(q.items)
+	if q.ring.Len() > q.maxOcc {
+		q.maxOcc = q.ring.Len()
 	}
 	return true
 }
@@ -56,41 +59,26 @@ func (q *Queue[T]) Push(now Time, v T) bool {
 // queue is empty.
 func (q *Queue[T]) Pop(now Time) (T, bool) {
 	var zero T
-	if len(q.items) == 0 {
+	if q.ring.Empty() {
 		return zero, false
 	}
 	q.account(now)
-	v := q.items[0]
-	// Shift rather than re-slice so the backing array does not grow without
-	// bound over a long simulation.
-	copy(q.items, q.items[1:])
-	q.items[len(q.items)-1] = zero
-	q.items = q.items[:len(q.items)-1]
 	q.deq++
-	return v, true
+	return q.ring.Pop(), true
 }
 
 // Peek returns the head element without removing it.
-func (q *Queue[T]) Peek() (T, bool) {
-	var zero T
-	if len(q.items) == 0 {
-		return zero, false
-	}
-	return q.items[0], true
-}
+func (q *Queue[T]) Peek() (T, bool) { return q.ring.Peek() }
 
 // At returns the i-th element from the head without removing it.
 // It panics if i is out of range, mirroring slice semantics.
-func (q *Queue[T]) At(i int) T { return q.items[i] }
+func (q *Queue[T]) At(i int) T { return q.ring.At(i) }
 
 // RemoveAt removes and returns the i-th element from the head.
 func (q *Queue[T]) RemoveAt(now Time, i int) T {
-	v := q.items[i]
+	v := q.ring.At(i) // range-check before touching the stats
 	q.account(now)
-	var zero T
-	copy(q.items[i:], q.items[i+1:])
-	q.items[len(q.items)-1] = zero
-	q.items = q.items[:len(q.items)-1]
+	q.ring.RemoveAt(i)
 	q.deq++
 	return v
 }
@@ -102,7 +90,7 @@ func (q *Queue[T]) account(now Time) {
 		return
 	}
 	if now > q.lastT {
-		q.occArea += float64(len(q.items)) * float64(now-q.lastT)
+		q.occArea += float64(q.ring.Len()) * float64(now-q.lastT)
 		q.lastT = now
 	}
 }
@@ -125,8 +113,42 @@ func (q *Queue[T]) MeanOccupancy(now Time) float64 {
 		}
 		return 0
 	}
-	area := q.occArea + float64(len(q.items))*float64(now-q.lastT)
+	area := q.occArea + float64(q.ring.Len())*float64(now-q.lastT)
 	return area / float64(now)
+}
+
+// Waiters is a list of parked callbacks with an allocation-free
+// fire-and-re-register cycle: Fire drains the current registrations and
+// runs them in order, callbacks may re-register (landing in the next
+// wave, backed by a recycled array instead of a fresh allocation per
+// cycle), and a callback may re-entrantly Fire. TokenPool uses it, as
+// do the host tag pools and the vault accept list.
+type Waiters struct {
+	list  []func()
+	spare []func() // drained array, reused to avoid churn
+}
+
+// Add registers fn for the next Fire.
+func (w *Waiters) Add(fn func()) { w.list = append(w.list, fn) }
+
+// Empty reports whether no callbacks are registered.
+func (w *Waiters) Empty() bool { return len(w.list) == 0 }
+
+// Fire runs the registered callbacks in registration order. Callbacks
+// registered while firing wait for the next Fire.
+func (w *Waiters) Fire() {
+	if len(w.list) == 0 {
+		return
+	}
+	l := w.list
+	w.list, w.spare = w.spare[:0], nil
+	for i, fn := range l {
+		l[i] = nil
+		fn()
+	}
+	if w.spare == nil { // not reclaimed by a re-entrant Fire
+		w.spare = l[:0]
+	}
 }
 
 // TokenPool models credit-based flow control: a fixed number of tokens that
@@ -135,7 +157,7 @@ func (q *Queue[T]) MeanOccupancy(now Time) float64 {
 type TokenPool struct {
 	total     int
 	available int
-	waiters   []func()
+	waiters   Waiters
 	minAvail  int
 }
 
@@ -166,18 +188,16 @@ func (p *TokenPool) TryAcquire(n int) bool {
 }
 
 // Release returns n tokens and wakes waiters registered with Notify.
+// Waiters registered during a callback — the usual retry-and-reblock
+// pattern — wait for the next Release.
 func (p *TokenPool) Release(n int) {
 	p.available += n
 	if p.available > p.total {
 		panic("sim: token pool over-released")
 	}
-	w := p.waiters
-	p.waiters = nil
-	for _, fn := range w {
-		fn()
-	}
+	p.waiters.Fire()
 }
 
 // Notify registers fn to run on the next Release. Components use this to
 // retry a blocked injection without polling.
-func (p *TokenPool) Notify(fn func()) { p.waiters = append(p.waiters, fn) }
+func (p *TokenPool) Notify(fn func()) { p.waiters.Add(fn) }

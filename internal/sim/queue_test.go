@@ -134,6 +134,65 @@ func TestTokenPool(t *testing.T) {
 	}
 }
 
+// TestTokenPoolReRegisterDuringCallback covers the retry-and-reblock
+// pattern every component uses: a waiter that fails to acquire inside
+// its callback re-registers for the next Release. The re-registration
+// must land in the next wave (not fire in the current one), must
+// actually fire on the following Release, and must survive the waiter
+// array being recycled between waves.
+func TestTokenPoolReRegisterDuringCallback(t *testing.T) {
+	p := NewTokenPool(1)
+	if !p.TryAcquire(1) {
+		t.Fatal("initial acquire failed")
+	}
+	fired := 0
+	var retry func()
+	retry = func() {
+		fired++
+		// Tokens are contended again by the time the waiter runs; block
+		// and re-register, exactly like a port blocked on tags.
+		if !p.TryAcquire(1) {
+			t.Fatal("waiter could not acquire the released token")
+		}
+		if fired < 3 {
+			p.Notify(retry)
+		}
+	}
+	p.Notify(retry)
+	for want := 1; want <= 3; want++ {
+		p.Release(1)
+		if fired != want {
+			t.Fatalf("after release %d: fired = %d, want %d (re-registration lost or fired early)", want, fired, want)
+		}
+	}
+	p.Release(1) // no waiters registered anymore; must be a no-op
+	if fired != 3 {
+		t.Fatalf("release with no waiters fired a callback: fired = %d", fired)
+	}
+}
+
+// TestTokenPoolNotifyOrder: waiters fire in registration order, and a
+// waiter registered during a callback waits for the next Release.
+func TestTokenPoolNotifyOrder(t *testing.T) {
+	p := NewTokenPool(1)
+	p.TryAcquire(1)
+	var order []int
+	p.Notify(func() {
+		order = append(order, 1)
+		p.Notify(func() { order = append(order, 3) })
+	})
+	p.Notify(func() { order = append(order, 2) })
+	p.Release(1)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("first wave = %v, want [1 2]", order)
+	}
+	p.TryAcquire(1)
+	p.Release(1)
+	if len(order) != 3 || order[2] != 3 {
+		t.Fatalf("second wave = %v, want [1 2 3]", order)
+	}
+}
+
 func TestTokenPoolOverReleasePanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

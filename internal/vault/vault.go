@@ -88,7 +88,22 @@ type Vault struct {
 	pumping       bool
 	dispatching   bool
 	dispatchAgain bool
-	acceptWait    []func()
+	acceptWait    sim.Waiters
+
+	// Pre-bound callbacks and in-flight rings: each pipeline stage fires
+	// in a deterministic FIFO order (monotone per-bank data completions,
+	// serialized TSV reservations, constant controller latency), so the
+	// transaction a callback concerns is always the head of the matching
+	// ring and no per-event closures are needed.
+	kickFns      []func() // kickFns[b] retries bank b on TSV-token release
+	bankReadyFns []func() // bankReadyFns[b] frees bank b and re-kicks it
+	dataDoneFns  []func() // dataDoneFns[b] moves bank b's head into the TSV
+	dataQ        []sim.Ring[*packet.Transaction]
+	tsvFn        func()
+	tsvQ         sim.Ring[*packet.Transaction]
+	ctrlFn       func()
+	ctrlQ        sim.Ring[*packet.Transaction]
+	pumpFn       func()
 
 	reads, writes uint64
 	bytesServed   uint64
@@ -117,6 +132,10 @@ func New(eng *sim.Engine, cfg Config, resp RespOutlet) *Vault {
 		tsvTokens: sim.NewTokenPool(cfg.TSVWindow),
 		out:       sim.NewQueue[*packet.Transaction](0),
 	}
+	v.kickFns = make([]func(), cfg.Banks)
+	v.bankReadyFns = make([]func(), cfg.Banks)
+	v.dataDoneFns = make([]func(), cfg.Banks)
+	v.dataQ = make([]sim.Ring[*packet.Transaction], cfg.Banks)
 	for i := range v.banks {
 		v.banks[i] = dram.NewBank(cfg.Timing, cfg.Policy)
 		if cfg.Timing.TREFI > 0 {
@@ -126,7 +145,17 @@ func New(eng *sim.Engine, cfg Config, resp RespOutlet) *Vault {
 			v.banks[i].SetRefreshPhase(slot * cfg.Timing.TREFI / sim.Time(16*cfg.Banks))
 		}
 		v.queues[i] = sim.NewQueue[*packet.Transaction](cfg.BankQueueDepth)
+		b := i
+		v.kickFns[b] = func() { v.kickBank(b) }
+		v.bankReadyFns[b] = func() {
+			v.bankBusy[b] = false
+			v.kickBank(b)
+		}
+		v.dataDoneFns[b] = func() { v.dataDone(b) }
 	}
+	v.tsvFn = v.tsvDone
+	v.ctrlFn = v.ctrlDone
+	v.pumpFn = v.pumpOut
 	return v
 }
 
@@ -194,15 +223,9 @@ func (v *Vault) dispatch() {
 
 // NotifyAccept registers fn to run the next time any bank queue frees a
 // slot.
-func (v *Vault) NotifyAccept(fn func()) { v.acceptWait = append(v.acceptWait, fn) }
+func (v *Vault) NotifyAccept(fn func()) { v.acceptWait.Add(fn) }
 
-func (v *Vault) wakeAcceptors() {
-	w := v.acceptWait
-	v.acceptWait = nil
-	for _, fn := range w {
-		fn()
-	}
-}
+func (v *Vault) wakeAcceptors() { v.acceptWait.Fire() }
 
 // kickBank issues the head of bank b's queue if the bank is idle and the
 // TSV window has room.
@@ -211,7 +234,7 @@ func (v *Vault) kickBank(b int) {
 		return
 	}
 	if !v.tsvTokens.TryAcquire(1) {
-		v.tsvTokens.Notify(func() { v.kickBank(b) })
+		v.tsvTokens.Notify(v.kickFns[b])
 		return
 	}
 	now := v.eng.Now()
@@ -228,21 +251,39 @@ func (v *Vault) kickBank(b int) {
 	v.bytesServed += uint64(tr.Size)
 
 	dataDone, bankReady := v.banks[b].Access(now, tr.Row, tr.Size)
-	v.eng.At(bankReady, func() {
-		v.bankBusy[b] = false
-		v.kickBank(b)
-	})
-	v.eng.At(dataDone, func() {
-		// The completed access crosses the vault's internal data path;
-		// service time covers the counted request+response bytes.
-		v.tsv.Reserve(v.cfg.TSVBandwidth.TimeFor(tr.RoundTripBytes()), func() {
-			v.tsvTokens.Release(1)
-			v.eng.Schedule(v.cfg.CtrlLatency, func() {
-				v.out.Push(v.eng.Now(), tr)
-				v.pumpOut()
-			})
-		})
-	})
+	v.eng.At(bankReady, v.bankReadyFns[b])
+	// Per-bank data completions are monotone (the bank model's data bus
+	// cursor only moves forward), so the transaction dataDoneFns[b]
+	// concerns is always the head of the bank's in-flight ring.
+	v.dataQ[b].Push(tr)
+	v.eng.At(dataDone, v.dataDoneFns[b])
+}
+
+// dataDone fires when bank b's oldest outstanding access finishes its
+// data burst: the completed access crosses the vault's internal data
+// path; service time covers the counted request+response bytes.
+func (v *Vault) dataDone(b int) {
+	tr := v.dataQ[b].Pop()
+	v.tsvQ.Push(tr)
+	v.tsv.Reserve(v.cfg.TSVBandwidth.TimeFor(tr.RoundTripBytes()), v.tsvFn)
+}
+
+// tsvDone fires when the TSV data path finishes its oldest reservation;
+// reservations complete in Reserve order, so the head of tsvQ is the
+// transaction that just crossed.
+func (v *Vault) tsvDone() {
+	tr := v.tsvQ.Pop()
+	v.tsvTokens.Release(1)
+	v.ctrlQ.Push(tr)
+	v.eng.Schedule(v.cfg.CtrlLatency, v.ctrlFn)
+}
+
+// ctrlDone fires CtrlLatency after a transaction crossed the TSV; the
+// latency is constant, so completions stay in FIFO order.
+func (v *Vault) ctrlDone() {
+	tr := v.ctrlQ.Pop()
+	v.out.Push(v.eng.Now(), tr)
+	v.pumpOut()
 }
 
 // pumpOut drains completed transactions into the response outlet.
@@ -258,7 +299,7 @@ func (v *Vault) pumpOut() {
 			return
 		}
 		if !v.resp.TryOut(tr) {
-			v.resp.NotifyOut(tr, func() { v.pumpOut() })
+			v.resp.NotifyOut(tr, v.pumpFn)
 			return
 		}
 		v.out.Pop(v.eng.Now())
