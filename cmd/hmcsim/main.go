@@ -12,7 +12,7 @@
 // Usage:
 //
 //	hmcsim [-exp name[,name...]|all] [-quick] [-seed N] [-workers N]
-//	       [-format text|json] [-list] [-server URL]
+//	       [-format text|json] [-traffic spec] [-list] [-server URL]
 //	       [-cpuprofile file] [-memprofile file]
 package main
 
@@ -48,6 +48,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	seed := fs.Uint64("seed", 0, "workload seed override")
 	workers := fs.Int("workers", 0, "sweep fan-out; 0 = NumCPU, 1 = sequential (results are identical either way)")
 	format := fs.String("format", "text", "output format: text or json")
+	trafficSpec := fs.String("traffic", "", "synthetic traffic spec for the \"traffic\" experiment: a pattern name or a JSON TrafficSpec")
 	list := fs.Bool("list", false, "list registered experiments and exit")
 	server := fs.String("server", "", "hmcsimd base URL; run remotely instead of simulating locally")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -111,6 +112,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	o := exp.Options{Quick: *quick, Seed: *seed, Workers: *workers}
+	if *trafficSpec != "" {
+		// Only the generic "traffic" experiment consumes the spec. For
+		// any other selection the flag would be silently ignored — and,
+		// in -server mode, needlessly fork the daemon's cache keys — so
+		// reject the combination instead.
+		if len(names) != 1 || names[0] != hmcsim.TrafficExp {
+			fmt.Fprintln(stderr, `hmcsim: -traffic only applies to the "traffic" experiment (use -exp traffic)`)
+			return 2
+		}
+		ts, err := parseTraffic(*trafficSpec)
+		if err != nil {
+			fmt.Fprintln(stderr, "hmcsim:", err)
+			return 2
+		}
+		o.Traffic = ts
+	}
 	if client != nil {
 		if *workers != 0 {
 			fmt.Fprintln(stderr, "hmcsim: -workers is local-only; the daemon runs each job on one single-threaded engine")
@@ -123,12 +140,37 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	return runLocal(ctx, names, o, *format, stdout, stderr)
 }
 
+// parseTraffic turns the -traffic flag into a validated spec. The flag
+// accepts either a bare pattern name ("zipf") or a full JSON
+// TrafficSpec ({"pattern": "zipf", "zipfTheta": 1.2, ...}); an unknown
+// pattern fails fast here with the same valid-name listing the daemon
+// returns as HTTP 400.
+func parseTraffic(arg string) (*hmcsim.TrafficSpec, error) {
+	var spec hmcsim.TrafficSpec
+	if strings.HasPrefix(strings.TrimSpace(arg), "{") {
+		dec := json.NewDecoder(strings.NewReader(arg))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			return nil, fmt.Errorf("bad -traffic JSON: %w", err)
+		}
+		if dec.More() {
+			return nil, fmt.Errorf("bad -traffic JSON: trailing data after the spec object")
+		}
+	} else {
+		spec.Pattern = arg
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &spec, nil
+}
+
 // runList prints the experiment registry — the local one, or the
 // daemon's when -server is set.
 func runList(ctx context.Context, client *service.Client, stdout, stderr io.Writer) int {
 	if client == nil {
 		for _, r := range exp.Runners() {
-			fmt.Fprintf(stdout, "%-8s %s\n", r.Name(), r.Describe())
+			fmt.Fprintf(stdout, "%-14s %s\n", r.Name(), r.Describe())
 		}
 		return 0
 	}
@@ -138,7 +180,7 @@ func runList(ctx context.Context, client *service.Client, stdout, stderr io.Writ
 		return 1
 	}
 	for _, e := range exps {
-		fmt.Fprintf(stdout, "%-8s %s\n", e.Name, e.Title)
+		fmt.Fprintf(stdout, "%-14s %s\n", e.Name, e.Title)
 	}
 	return 0
 }

@@ -97,6 +97,81 @@ func TestRemoteTextOutput(t *testing.T) {
 	}
 }
 
+// TestTrafficLocalRemoteByteIdentical is the traffic acceptance path:
+// `hmcsim -exp traffic-zipf -format json` and the identical spec
+// submitted through hmcsimd must emit byte-identical JSON, and the
+// repeated daemon submission must be served from the cache.
+func TestTrafficLocalRemoteByteIdentical(t *testing.T) {
+	svc := service.New(service.Config{Workers: 2}, exp.Runners())
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() { ts.Close(); svc.Close() })
+
+	args := []string{"-exp", "traffic-zipf", "-quick", "-format", "json"}
+	var localOut, remoteOut, again, stderr bytes.Buffer
+	if code := run(context.Background(), args, &localOut, &stderr); code != 0 {
+		t.Fatalf("local run exited %d: %s", code, stderr.String())
+	}
+	remoteArgs := append([]string{"-server", ts.URL}, args...)
+	if code := run(context.Background(), remoteArgs, &remoteOut, &stderr); code != 0 {
+		t.Fatalf("remote run exited %d: %s", code, stderr.String())
+	}
+	if !bytes.Equal(localOut.Bytes(), remoteOut.Bytes()) {
+		t.Fatal("daemon-served traffic-zipf JSON differs from the local run")
+	}
+	hitsBefore := svc.Snapshot().Cache.Hits
+	if code := run(context.Background(), remoteArgs, &again, &stderr); code != 0 {
+		t.Fatalf("repeat remote run exited %d: %s", code, stderr.String())
+	}
+	if !bytes.Equal(again.Bytes(), remoteOut.Bytes()) {
+		t.Fatal("cached traffic rerun not byte-identical")
+	}
+	if hits := svc.Snapshot().Cache.Hits; hits <= hitsBefore {
+		t.Fatalf("repeat submission was not a cache hit (hits %d -> %d)", hitsBefore, hits)
+	}
+}
+
+// TestTrafficFlag: -traffic accepts a pattern name or JSON and rejects
+// unknown patterns before any simulation (or submission) happens.
+func TestTrafficFlag(t *testing.T) {
+	var out, stderr bytes.Buffer
+	args := []string{"-exp", "traffic", "-quick", "-traffic", `{"pattern":"chase","chaseNodes":256}`}
+	if code := run(context.Background(), args, &out, &stderr); code != 0 {
+		t.Fatalf("JSON -traffic run exited %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(out.String(), "chase") {
+		t.Fatalf("output does not name the chase pattern:\n%s", out.String())
+	}
+
+	out.Reset()
+	stderr.Reset()
+	if code := run(context.Background(), []string{"-exp", "traffic", "-traffic", "zipfian"}, &out, &stderr); code != 2 {
+		t.Fatalf("unknown pattern exited %d, want 2", code)
+	}
+	for _, name := range hmcsim.TrafficPatterns() {
+		if !strings.Contains(stderr.String(), name) {
+			t.Errorf("error output %q does not list pattern %q", stderr.String(), name)
+		}
+	}
+
+	// Trailing JSON after the spec object must not be silently dropped.
+	stderr.Reset()
+	badJSON := []string{"-exp", "traffic", "-traffic", `{"pattern":"zipf"}{"zipfTheta":1.8}`}
+	if code := run(context.Background(), badJSON, &out, &stderr); code != 2 {
+		t.Fatalf("trailing JSON exited %d, want 2: %s", code, stderr.String())
+	}
+
+	// The flag only parameterizes the generic "traffic" experiment; any
+	// other selection would silently ignore it (and fork daemon cache
+	// keys), so it is rejected.
+	stderr.Reset()
+	if code := run(context.Background(), []string{"-exp", "fig6", "-traffic", "zipf"}, &out, &stderr); code != 2 {
+		t.Fatalf("-traffic with fig6 exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "-exp traffic") {
+		t.Fatalf("error %q does not point at -exp traffic", stderr.String())
+	}
+}
+
 func TestUnknownExperimentFailsFast(t *testing.T) {
 	var out, stderr bytes.Buffer
 	if code := run(context.Background(), []string{"-exp", "fig99"}, &out, &stderr); code != 2 {

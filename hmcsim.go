@@ -7,7 +7,10 @@
 //
 //   - Workload: something that generates traffic against a System's
 //     port fabric and reports what the monitors saw. GUPS, Streams and
-//     TraceReplay adapt the paper's two firmware personalities.
+//     TraceReplay adapt the paper's two firmware personalities;
+//     TrafficWorkload drives a composable synthetic TrafficSpec
+//     (pattern library, read/write mixer, phase scripts, closed- or
+//     open-loop injection) from internal/traffic.
 //   - Backend: an attachable memory device under test. HMCDevice and
 //     DDRChannel implement it, so device comparisons are plain sweeps.
 //   - Runner: a named, self-describing experiment returning a
@@ -80,10 +83,26 @@ type Options struct {
 	// Seed perturbs all workload RNGs (0 keeps the config default),
 	// letting callers check that conclusions are seed-stable.
 	Seed uint64 `json:"seed"`
+	// Traffic carries a synthetic traffic spec for the experiments that
+	// consume one (the generic "traffic" runner); nil runs their
+	// defaults. It is omitted from JSON when nil, so specs predating
+	// the traffic subsystem keep their cache keys.
+	Traffic *TrafficSpec `json:"traffic,omitempty"`
 	// Workers bounds Sweep fan-out: 0 means runtime.NumCPU(), 1 forces
 	// sequential execution. Excluded from JSON because it must never
 	// change results, only wall-clock time.
 	Workers int `json:"-"`
+}
+
+// Validate rejects option values that cannot run: currently a traffic
+// spec naming an unknown pattern or out-of-range parameters. The CLI
+// and the hmcsimd submit path both call it, so the same helpful error
+// (listing the valid pattern names) appears locally and as HTTP 400.
+func (o Options) Validate() error {
+	if o.Traffic != nil {
+		return o.Traffic.Validate()
+	}
+	return nil
 }
 
 // NewSystem builds a default system with the option seed applied.

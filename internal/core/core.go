@@ -203,23 +203,42 @@ func (s *System) RunGUPS(spec GUPSSpec) Result {
 		ports[i].Start()
 	}
 
-	start := s.Eng.Now()
-	s.Eng.Run(start + spec.Warmup)
-	for _, p := range ports {
-		p.Mon.Reset(s.Eng.Now())
+	mons := make([]*host.Monitor, len(ports))
+	for i, p := range ports {
+		mons[i] = &p.Mon
 	}
-	hmcLatSum, hmcLatN = 0, 0
+	res := s.measureWindow(spec.Warmup, spec.Window, mons, func() { hmcLatSum, hmcLatN = 0, 0 })
+	res.Spec = spec
+	for _, p := range ports {
+		p.Stop()
+	}
+	if hmcLatN > 0 {
+		res.AvgHMCLat = hmcLatSum / sim.Time(hmcLatN)
+	}
+	return res
+}
 
-	// Sample cube occupancy through the window for the Little's-law
-	// analysis.
+// measureWindow is the measurement protocol shared by the GUPS and
+// traffic drivers: drive already-started ports through warm-up, clear
+// the monitors (onReset lets the caller zero its own accumulators at
+// the same instant), sample cube occupancy through the window for the
+// Little's-law analysis, and aggregate the monitors into a Result.
+func (s *System) measureWindow(warmup, window sim.Time, mons []*host.Monitor, onReset func()) Result {
+	start := s.Eng.Now()
+	s.Eng.Run(start + warmup)
+	for _, m := range mons {
+		m.Reset(s.Eng.Now())
+	}
+	onReset()
+
 	occSamples := 0
 	occSum := 0.0
-	sampleEvery := spec.Window / 64
+	sampleEvery := window / 64
 	if sampleEvery <= 0 {
-		sampleEvery = spec.Window
+		sampleEvery = window
 	}
 	var sample func()
-	stopAt := start + spec.Warmup + spec.Window
+	stopAt := start + warmup + window
 	sample = func() {
 		occSum += float64(s.HMC.InFlight())
 		occSamples++
@@ -230,29 +249,25 @@ func (s *System) RunGUPS(spec GUPSSpec) Result {
 	s.Eng.Schedule(sampleEvery, sample)
 
 	s.Eng.Run(stopAt)
-	res := Result{Spec: spec, Window: spec.Window}
-	for _, p := range ports {
-		res.Reads += p.Mon.Reads
-		res.Writes += p.Mon.Writes
-		res.CountedBytes += p.Mon.CountedBytes
-		res.AvgLat += p.Mon.AggLat
-		if res.MinLat == 0 || (p.Mon.MinLat > 0 && p.Mon.MinLat < res.MinLat) {
-			res.MinLat = p.Mon.MinLat
+	res := Result{Window: window}
+	for _, m := range mons {
+		res.Reads += m.Reads
+		res.Writes += m.Writes
+		res.CountedBytes += m.CountedBytes
+		res.AvgLat += m.AggLat
+		if res.MinLat == 0 || (m.MinLat > 0 && m.MinLat < res.MinLat) {
+			res.MinLat = m.MinLat
 		}
-		if p.Mon.MaxLat > res.MaxLat {
-			res.MaxLat = p.Mon.MaxLat
+		if m.MaxLat > res.MaxLat {
+			res.MaxLat = m.MaxLat
 		}
-		p.Stop()
 	}
 	if res.Reads > 0 {
 		res.AvgLat /= sim.Time(res.Reads)
 	}
-	res.Bandwidth = phys.Rate(res.CountedBytes, spec.Window)
+	res.Bandwidth = phys.Rate(res.CountedBytes, window)
 	if occSamples > 0 {
 		res.HMCOutstanding = occSum / float64(occSamples)
-	}
-	if hmcLatN > 0 {
-		res.AvgHMCLat = hmcLatSum / sim.Time(hmcLatN)
 	}
 	return res
 }

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+
+	"hmcsim/internal/host"
+	"hmcsim/internal/packet"
+	"hmcsim/internal/sim"
+	"hmcsim/internal/traffic"
+)
+
+// TrafficRunSpec configures a synthetic-traffic measurement run: Ports
+// identical traffic ports, each driving an independent compiled copy of
+// the same traffic.Spec (per-port seeds derive from the system seed,
+// so ports decorrelate but the whole run replays from one seed).
+type TrafficRunSpec struct {
+	Ports   int          // active ports, 1..9
+	Size    int          // request size in bytes
+	Traffic traffic.Spec // pattern, mix, discipline, phases
+	Warmup  sim.Time     // traffic before counters reset
+	Window  sim.Time     // measurement window after warm-up
+	Tags    int          // per-port override; 0 = config default
+}
+
+// RunTraffic performs one synthetic-traffic experiment on a fresh set
+// of ports, sharing RunGUPS's measurement protocol (warm-up, counter
+// reset, sampled cube occupancy, aggregate monitors). Unlike RunGUPS it
+// returns an error instead of panicking on a bad spec, because traffic
+// specs arrive from CLI flags and daemon submissions, not just code.
+func (s *System) RunTraffic(spec TrafficRunSpec) (Result, error) {
+	if spec.Ports <= 0 || spec.Ports > MaxPorts {
+		return Result{}, fmt.Errorf("core: %d ports out of range [1, %d]", spec.Ports, MaxPorts)
+	}
+	if spec.Window <= 0 {
+		return Result{}, fmt.Errorf("core: traffic window must be positive")
+	}
+	var hmcLatSum sim.Time
+	var hmcLatN uint64
+	ports := make([]*host.TrafficPort, spec.Ports)
+	for i := range ports {
+		gen, err := traffic.Compile(spec.Traffic, spec.Size, s.Cfg.Seed+uint64(i)*977)
+		if err != nil {
+			return Result{}, err
+		}
+		ports[i] = host.NewTrafficPort(s.Eng, s.Cfg.Host, s.Ctrl, s.Map, s.nextPortID(), host.TrafficConfig{
+			Size: spec.Size,
+			Gen:  gen,
+			Tags: spec.Tags,
+		})
+		ports[i].Mon.OnComplete = func(tr *packet.Transaction) {
+			hmcLatSum += tr.HMCLatency()
+			hmcLatN++
+		}
+		ports[i].Start()
+	}
+
+	mons := make([]*host.Monitor, len(ports))
+	for i, p := range ports {
+		mons[i] = &p.Mon
+	}
+	res := s.measureWindow(spec.Warmup, spec.Window, mons, func() { hmcLatSum, hmcLatN = 0, 0 })
+	for _, p := range ports {
+		p.Stop()
+	}
+	if hmcLatN > 0 {
+		res.AvgHMCLat = hmcLatSum / sim.Time(hmcLatN)
+	}
+	return res, nil
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hmcsim/internal/sim"
+	"hmcsim/internal/traffic"
+)
+
+func runTraffic(t *testing.T, spec TrafficRunSpec) Result {
+	t.Helper()
+	sys := NewSystem(DefaultConfig())
+	res, err := sys.RunTraffic(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestTrafficClosedLoopSaturates: the zero-value spec is the GUPS
+// personality, so nine closed-loop uniform ports must reach the same
+// controller-bound ceiling the paper's 16-vault pattern does.
+func TestTrafficClosedLoopSaturates(t *testing.T) {
+	res := runTraffic(t, TrafficRunSpec{
+		Ports: 9, Size: 128,
+		Warmup: 10 * sim.Microsecond, Window: 40 * sim.Microsecond,
+	})
+	if res.Reads == 0 {
+		t.Fatal("no traffic issued")
+	}
+	if bw := res.Bandwidth.GBpsValue(); bw < 18 || bw > 26 {
+		t.Errorf("closed-loop uniform bandwidth %.2f GB/s outside the controller-ceiling band", bw)
+	}
+}
+
+// TestTrafficOpenLoopHitsTarget: a single open-loop port at a modest
+// target must deliver that payload rate within a few percent — the
+// token bucket is the rate law, not the tag pool.
+func TestTrafficOpenLoopHitsTarget(t *testing.T) {
+	const target = 1.0 // GB/s of request payload
+	res := runTraffic(t, TrafficRunSpec{
+		Ports: 1, Size: 128,
+		Traffic: traffic.Spec{Discipline: traffic.DisciplineOpen, RateGBps: target},
+		Warmup:  10 * sim.Microsecond, Window: 100 * sim.Microsecond,
+	})
+	payload := float64((res.Reads+res.Writes)*128) / res.Window.Seconds() / 1e9
+	if math.Abs(payload-target) > 0.05*target {
+		t.Errorf("open-loop payload rate %.3f GB/s, want %.1f +/- 5%%", payload, target)
+	}
+}
+
+// TestTrafficBurstDutyCycle: a 50%-duty on/off script must deliver
+// half the steady payload at the same on-rate.
+func TestTrafficBurstDutyCycle(t *testing.T) {
+	steady := runTraffic(t, TrafficRunSpec{
+		Ports: 1, Size: 128,
+		Traffic: traffic.Spec{Discipline: traffic.DisciplineOpen, RateGBps: 2},
+		Warmup:  10 * sim.Microsecond, Window: 100 * sim.Microsecond,
+	})
+	burst := runTraffic(t, TrafficRunSpec{
+		Ports: 1, Size: 128,
+		Traffic: traffic.Spec{
+			Discipline: traffic.DisciplineOpen,
+			Phases: []traffic.Phase{
+				{DurationUs: 5, RateGBps: 2},
+				{DurationUs: 5, Off: true},
+			},
+		},
+		Warmup: 10 * sim.Microsecond, Window: 100 * sim.Microsecond,
+	})
+	sn := steady.Reads + steady.Writes
+	bn := burst.Reads + burst.Writes
+	ratio := float64(bn) / float64(sn)
+	if math.Abs(ratio-0.5) > 0.05 {
+		t.Errorf("burst issued %.2fx the steady request count, want ~0.5 (%d vs %d)", ratio, bn, sn)
+	}
+}
+
+// TestTrafficSpecErrors: RunTraffic must return (not panic) helpful
+// errors for bad specs, since they arrive from CLI flags and daemon
+// submissions.
+func TestTrafficSpecErrors(t *testing.T) {
+	sys := NewSystem(DefaultConfig())
+	_, err := sys.RunTraffic(TrafficRunSpec{
+		Ports: 1, Size: 128,
+		Traffic: traffic.Spec{Pattern: "zipfian"},
+		Window:  10 * sim.Microsecond,
+	})
+	if err == nil || !strings.Contains(err.Error(), "zipf") {
+		t.Fatalf("bad pattern error %v does not list valid patterns", err)
+	}
+	if _, err := sys.RunTraffic(TrafficRunSpec{Ports: 99, Size: 128, Window: sim.Microsecond}); err == nil {
+		t.Fatal("port overflow accepted")
+	}
+	if _, err := sys.RunTraffic(TrafficRunSpec{Ports: 1, Size: 128}); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+// TestTrafficDeterministicAcrossSystems: two fresh systems with the
+// same seed must measure byte-identical results, the property the
+// daemon's content-addressed cache rests on.
+func TestTrafficDeterministicAcrossSystems(t *testing.T) {
+	spec := TrafficRunSpec{
+		Ports: 4, Size: 64,
+		Traffic: traffic.Spec{Pattern: traffic.PatternHotspot, WriteFraction: 0.25},
+		Warmup:  5 * sim.Microsecond, Window: 20 * sim.Microsecond,
+	}
+	a := runTraffic(t, spec)
+	b := runTraffic(t, spec)
+	if a != b {
+		t.Fatalf("same-seed runs diverged:\n a: %+v\n b: %+v", a, b)
+	}
+}

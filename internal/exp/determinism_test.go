@@ -25,7 +25,7 @@ func runJSON(t *testing.T, name string, o Options) []byte {
 // repeated runs and across sequential vs. parallel execution. Workers
 // is excluded from the marshaled options precisely so this holds.
 func TestDeterminism(t *testing.T) {
-	for _, name := range []string{"fig14", "ddr"} {
+	for _, name := range []string{"fig14", "ddr", "traffic-zipf", "traffic-burst"} {
 		seq := Options{Quick: true, Seed: 7, Workers: 1}
 		par := Options{Quick: true, Seed: 7, Workers: 4}
 

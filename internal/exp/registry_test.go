@@ -10,7 +10,10 @@ import (
 
 // TestRegistryNames pins the registered set and its presentation order.
 func TestRegistryNames(t *testing.T) {
-	want := []string{"table1", "eq1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig13", "fig14", "ddr"}
+	want := []string{
+		"table1", "eq1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig13", "fig14", "ddr",
+		"traffic-zipf", "traffic-mix", "traffic-burst", "traffic",
+	}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d runners %v, want %d", len(got), got, len(want))

@@ -243,6 +243,12 @@ func (s *Server) Submit(spec hmcsim.Spec) (*Job, error) {
 	if _, ok := s.runners[spec.Exp]; !ok {
 		return nil, fmt.Errorf("unknown experiment %q (have %v)", spec.Exp, s.names)
 	}
+	// Reject malformed option payloads (e.g. an unknown traffic
+	// pattern) before they consume a queue slot; the HTTP layer maps
+	// this to a 400 with the same helpful message the CLI prints.
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
 	key, err := spec.Key()
 	if err != nil {
 		return nil, err

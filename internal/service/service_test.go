@@ -247,6 +247,41 @@ func TestSubmitUnknownExperiment(t *testing.T) {
 	}
 }
 
+// TestSubmitInvalidTrafficSpec: a spec naming an unknown traffic
+// pattern must be rejected at submission with a 400 that lists the
+// valid patterns — the same message the CLI prints — instead of
+// occupying a queue slot and failing later.
+func TestSubmitInvalidTrafficSpec(t *testing.T) {
+	s, c := newTestServer(t, Config{Workers: 1}, newFake("traffic"))
+	_, err := c.Submit(context.Background(), hmcsim.Spec{
+		Exp:     "traffic",
+		Options: hmcsim.Options{Traffic: &hmcsim.TrafficSpec{Pattern: "zipfian"}},
+	})
+	if err == nil {
+		t.Fatal("unknown traffic pattern accepted")
+	}
+	for _, name := range hmcsim.TrafficPatterns() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("400 body %q does not list pattern %q", err, name)
+		}
+	}
+	if n := len(s.Snapshot().Jobs); n != 0 {
+		t.Fatalf("invalid spec created %d job records", n)
+	}
+
+	// A valid traffic spec on the same runner sails through.
+	j, err := c.Submit(context.Background(), hmcsim.Spec{
+		Exp:     "traffic",
+		Options: hmcsim.Options{Traffic: &hmcsim.TrafficSpec{Pattern: hmcsim.TrafficZipf}},
+	})
+	if err != nil {
+		t.Fatalf("valid traffic spec rejected: %v", err)
+	}
+	if v := waitJob(t, c, j.ID); v.State != StateDone {
+		t.Fatalf("traffic job state %s, want done", v.State)
+	}
+}
+
 func TestExperimentsHealthzAndJobLookup(t *testing.T) {
 	_, c := newTestServer(t, Config{Workers: 1}, newFake("a"), newFake("b"))
 	ctx := context.Background()

@@ -1,0 +1,54 @@
+package traffic
+
+import "testing"
+
+// Pattern-generation micro-benchmarks: the CI bench-smoke job runs
+// these (with -benchtime=1x) so the hot loop's 0 allocs/op property
+// cannot bit-rot, and locally they report the per-request cost of each
+// address source:
+//
+//	go test -bench=. -benchmem ./internal/traffic/...
+func BenchmarkNext(b *testing.B) {
+	specs := []struct {
+		name string
+		spec Spec
+	}{
+		{"uniform", Spec{}},
+		{"stride", Spec{Pattern: PatternStride}},
+		{"sequential", Spec{Pattern: PatternSequential}},
+		{"hotspot", Spec{Pattern: PatternHotspot}},
+		{"zipf", Spec{Pattern: PatternZipf, WorkingSetBytes: 1 << 20}},
+		{"chase", Spec{Pattern: PatternChase}},
+		{"markov-mix", Spec{WriteFraction: 0.5, MixRunLength: 8}},
+	}
+	for _, tc := range specs {
+		b.Run(tc.name, func(b *testing.B) {
+			g, err := Compile(tc.spec, 128, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				a, w := g.Next()
+				sink += a
+				if w {
+					sink++
+				}
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkCompile reports the one-time cost of building a generator
+// (the zipf case includes the harmonic weighing, amortized by the
+// package-level zeta cache).
+func BenchmarkCompile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(Spec{Pattern: PatternZipf, WorkingSetBytes: 1 << 20}, 128, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package traffic
+
+// RNG is a splitmix64 generator (Steele, Lea, Flood 2014): one 64-bit
+// addition plus a finalizer per draw, no state besides the counter, and
+// any seed — including zero — starts a full-period stream. The traffic
+// subsystem keeps its own generator (rather than sharing sim.Rand's
+// xorshift64*) so pattern streams can be split into independent
+// sub-streams: the counter construction makes Split both cheap and
+// collision-resistant.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. Unlike xorshift, every
+// seed value (zero included) yields a distinct full-period stream.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// golden is 2^64 / phi, the Weyl increment of splitmix64.
+const golden = 0x9E3779B97F4A7C15
+
+// mix64 is the splitmix64 output finalizer.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// Uint64 returns the next value in the stream.
+func (r *RNG) Uint64() uint64 {
+	r.state += golden
+	return mix64(r.state)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("traffic: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Split returns a new generator whose stream is independent of the
+// parent's continuation: the child is seeded from the parent's next
+// draw, so N sub-generators derived from one seed never correlate with
+// each other or with the parent.
+func (r *RNG) Split() *RNG { return NewRNG(r.Uint64()) }

@@ -22,6 +22,23 @@ type Spec struct {
 	Options Options `json:"options"`
 }
 
+// TrafficExp is the registered name of the generic traffic experiment,
+// the only runner that consumes Options.Traffic.
+const TrafficExp = "traffic"
+
+// Validate rejects specs that cannot run regardless of registry: bad
+// option values such as an unknown traffic pattern, or a traffic spec
+// attached to an experiment that would silently ignore it (and
+// needlessly fork the result cache's content keys). The experiment
+// name's existence is validated separately against whichever registry
+// will run the spec.
+func (s Spec) Validate() error {
+	if s.Options.Traffic != nil && s.Exp != TrafficExp {
+		return fmt.Errorf("hmcsim: options.traffic only applies to the %q experiment, not %q", TrafficExp, s.Exp)
+	}
+	return s.Options.Validate()
+}
+
 // Canonical returns the spec's canonical JSON encoding: object keys
 // sorted, no insignificant whitespace, numbers preserved exactly. Any
 // JSON spelling of the same spec — reordered fields, extra whitespace —

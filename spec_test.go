@@ -3,6 +3,7 @@ package hmcsim_test
 import (
 	"encoding/json"
 	"reflect"
+	"strings"
 	"testing"
 
 	"hmcsim"
@@ -136,6 +137,117 @@ func TestSpecKeyDiscriminates(t *testing.T) {
 	}
 	if wk != bk {
 		t.Error("Workers changed the content address")
+	}
+}
+
+// TestSpecKeyStableAcrossTrafficExtension pins the canonical encoding
+// of a pre-traffic spec: adding the options.traffic field must not
+// change the keys of specs that do not use it, or every daemon cache
+// entry from before the traffic subsystem would be silently orphaned.
+func TestSpecKeyStableAcrossTrafficExtension(t *testing.T) {
+	s := hmcsim.Spec{Exp: "fig6", Options: hmcsim.Options{Quick: true, Seed: 7}}
+	canon, err := s.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The exact canonical bytes from before Options.Traffic existed.
+	want := `{"exp":"fig6","options":{"quick":true,"seed":7}}`
+	if string(canon) != want {
+		t.Fatalf("canonical form drifted:\n got: %s\nwant: %s", canon, want)
+	}
+}
+
+func TestSpecKeyCoversTrafficFields(t *testing.T) {
+	base := hmcsim.Spec{Exp: "traffic", Options: hmcsim.Options{Quick: true}}
+	zipf := base
+	zipf.Options.Traffic = &hmcsim.TrafficSpec{Pattern: hmcsim.TrafficZipf, ZipfTheta: 1.2}
+	bk, err := base.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	zk, err := zipf.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bk == zk {
+		t.Fatal("traffic spec did not change the content address")
+	}
+
+	// Identical traffic specs share a key however they were built.
+	var fromJSON hmcsim.Spec
+	src := `{"options":{"traffic":{"zipfTheta":1.2,"pattern":"zipf"},"seed":0,"quick":true},"exp":"traffic"}`
+	if err := json.Unmarshal([]byte(src), &fromJSON); err != nil {
+		t.Fatal(err)
+	}
+	jk, err := fromJSON.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jk != zk {
+		t.Fatalf("JSON-built traffic key %s != struct-built %s", jk, zk)
+	}
+
+	// Every traffic field must discriminate the key.
+	variants := []hmcsim.TrafficSpec{
+		{Pattern: hmcsim.TrafficZipf, ZipfTheta: 1.1},
+		{Pattern: hmcsim.TrafficHotspot, ZipfTheta: 1.2},
+		{Pattern: hmcsim.TrafficZipf, ZipfTheta: 1.2, WriteFraction: 0.5},
+		{Pattern: hmcsim.TrafficZipf, ZipfTheta: 1.2, Discipline: hmcsim.TrafficOpenLoop, RateGBps: 2},
+		{Pattern: hmcsim.TrafficZipf, ZipfTheta: 1.2, Phases: []hmcsim.TrafficPhase{{DurationUs: 10}}},
+	}
+	for _, v := range variants {
+		s := base
+		v := v
+		s.Options.Traffic = &v
+		vk, err := s.Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vk == zk {
+			t.Errorf("traffic variant %+v collides with the zipf base spec", v)
+		}
+	}
+}
+
+func TestSpecValidateTraffic(t *testing.T) {
+	bad := hmcsim.Spec{Exp: "traffic", Options: hmcsim.Options{
+		Traffic: &hmcsim.TrafficSpec{Pattern: "zipfian"},
+	}}
+	err := bad.Validate()
+	if err == nil {
+		t.Fatal("unknown traffic pattern accepted")
+	}
+	for _, name := range hmcsim.TrafficPatterns() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list pattern %q", err, name)
+		}
+	}
+	ok := hmcsim.Spec{Exp: "traffic", Options: hmcsim.Options{
+		Traffic: &hmcsim.TrafficSpec{Pattern: hmcsim.TrafficChase},
+	}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid traffic spec rejected: %v", err)
+	}
+	if err := (hmcsim.Spec{Exp: "fig6"}).Validate(); err != nil {
+		t.Errorf("traffic-less spec rejected: %v", err)
+	}
+
+	// A traffic spec on an experiment that ignores it would silently
+	// fork the cache keys, so it is rejected at validation.
+	misapplied := hmcsim.Spec{Exp: "fig6", Options: hmcsim.Options{
+		Traffic: &hmcsim.TrafficSpec{Pattern: hmcsim.TrafficZipf},
+	}}
+	if err := misapplied.Validate(); err == nil || !strings.Contains(err.Error(), "traffic") {
+		t.Errorf("traffic spec on fig6 accepted (err = %v)", err)
+	}
+
+	// Cross-field violations must fail Spec validation too, not just
+	// compilation: this is what turns them into HTTP 400s.
+	uncompilable := hmcsim.Spec{Exp: "traffic", Options: hmcsim.Options{
+		Traffic: &hmcsim.TrafficSpec{Pattern: hmcsim.TrafficStride, StrideBytes: 8192, WorkingSetBytes: 8192},
+	}}
+	if err := uncompilable.Validate(); err == nil {
+		t.Error("uncompilable stride spec accepted")
 	}
 }
 
