@@ -31,7 +31,10 @@ func BenchmarkExperiments(b *testing.B) {
 	for _, r := range exp.Runners() {
 		b.Run(r.Name(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res := r.Run(ctx, quick)
+				res, err := r.Run(ctx, quick)
+				if err != nil {
+					b.Fatalf("%s: %v", r.Name(), err)
+				}
 				if len(res.Series) == 0 {
 					b.Fatalf("%s: empty result", r.Name())
 				}
@@ -58,7 +61,10 @@ func TestBenchSweep(t *testing.T) {
 	}{Quick: true, Workers: runtime.NumCPU()}
 	for _, r := range exp.Runners() {
 		start := time.Now()
-		res := r.Run(ctx, quick)
+		res, err := r.Run(ctx, quick)
+		if err != nil {
+			t.Fatalf("runner %q: %v", r.Name(), err)
+		}
 		if res.Name != r.Name() {
 			t.Fatalf("runner %q produced result %q", r.Name(), res.Name)
 		}

@@ -4,16 +4,19 @@
 // repository. Experiments come from the internal/exp registry, so a
 // newly registered runner appears here (and in -list) automatically.
 //
-// With -server the same commands run against a hmcsimd daemon instead
-// of simulating locally: specs are submitted as jobs and polled until
-// done, so repeated runs of the same spec come back instantly from the
-// daemon's result cache.
+// With -server the same commands run against one or more hmcsimd
+// daemons instead of simulating locally: specs are submitted in batches
+// and polled until done, so repeated runs of the same spec come back
+// instantly from the daemon's result cache. A comma-separated -server
+// list shards the experiments across the daemons, keeps each daemon's
+// worker pool full, and fails a dead daemon's unfinished work over to
+// its peers; results print in submission order either way.
 //
 // Usage:
 //
 //	hmcsim [-exp name[,name...]|all] [-quick] [-seed N] [-workers N]
-//	       [-format text|json] [-traffic spec] [-list] [-server URL]
-//	       [-cpuprofile file] [-memprofile file]
+//	       [-format text|json] [-traffic spec] [-list]
+//	       [-server URL[,URL...]] [-cpuprofile file] [-memprofile file]
 package main
 
 import (
@@ -50,7 +53,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	format := fs.String("format", "text", "output format: text or json")
 	trafficSpec := fs.String("traffic", "", "synthetic traffic spec for the \"traffic\" experiment: a pattern name or a JSON TrafficSpec")
 	list := fs.Bool("list", false, "list registered experiments and exit")
-	server := fs.String("server", "", "hmcsimd base URL; run remotely instead of simulating locally")
+	server := fs.String("server", "", "comma-separated hmcsimd base URL(s); run remotely instead of simulating locally")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
@@ -86,15 +89,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			}
 		}()
 	}
-	var client *service.Client
+	var fleet *service.Fleet
 	if *server != "" {
-		client = &service.Client{Base: *server}
+		fleet = service.NewFleet(*server)
+		fleet.Logf = func(format string, args ...any) {
+			fmt.Fprintf(stderr, "hmcsim: "+format+"\n", args...)
+		}
 	}
 
 	// -list ignores -format, so it is handled before format validation
 	// (long-standing behavior scripts may rely on).
 	if *list {
-		return runList(ctx, client, stdout, stderr)
+		return runList(ctx, fleet, stdout, stderr)
 	}
 	if *format != "text" && *format != "json" {
 		fmt.Fprintf(stderr, "hmcsim: unknown format %q (want text or json)\n", *format)
@@ -128,11 +134,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 		o.Traffic = ts
 	}
-	if client != nil {
+	if fleet != nil {
 		if *workers != 0 {
 			fmt.Fprintln(stderr, "hmcsim: -workers is local-only; the daemon runs each job on one single-threaded engine")
 		}
-		return runRemote(ctx, client, names, o, *format, stdout, stderr)
+		return runRemote(ctx, fleet, names, o, *format, stdout, stderr)
 	}
 	if names == nil {
 		names = exp.Names()
@@ -166,15 +172,15 @@ func parseTraffic(arg string) (*hmcsim.TrafficSpec, error) {
 }
 
 // runList prints the experiment registry — the local one, or the
-// daemon's when -server is set.
-func runList(ctx context.Context, client *service.Client, stdout, stderr io.Writer) int {
-	if client == nil {
+// fleet's when -server is set.
+func runList(ctx context.Context, fleet *service.Fleet, stdout, stderr io.Writer) int {
+	if fleet == nil {
 		for _, r := range exp.Runners() {
 			fmt.Fprintf(stdout, "%-14s %s\n", r.Name(), r.Describe())
 		}
 		return 0
 	}
-	exps, err := client.Experiments(ctx)
+	exps, err := fleet.Experiments(ctx)
 	if err != nil {
 		fmt.Fprintln(stderr, "hmcsim:", err)
 		return 1
@@ -199,13 +205,13 @@ func runLocal(ctx context.Context, names []string, o exp.Options, format string,
 	for _, name := range names {
 		start := time.Now()
 		res, err := exp.Run(ctx, name, o)
-		if err != nil {
-			fmt.Fprintln(stderr, "hmcsim:", err)
-			return 2
-		}
 		if ctx.Err() != nil {
 			fmt.Fprintln(stderr, "hmcsim: interrupted")
 			return 1
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "hmcsim:", err)
+			return 2
 		}
 		if format == "text" {
 			fmt.Fprintln(stdout, res)
@@ -220,14 +226,15 @@ func runLocal(ctx context.Context, names []string, o exp.Options, format string,
 	return 0
 }
 
-// runRemote submits one job per experiment to the daemon and polls each
-// to completion. A nil names slice means every experiment the daemon
-// registers.
-func runRemote(ctx context.Context, client *service.Client, names []string, o exp.Options, format string, stdout, stderr io.Writer) int {
-	// Resolve every name against the daemon's registry before
-	// submitting anything, mirroring runLocal's fail-fast contract: a
-	// typo late in the list must not discard completed simulations.
-	exps, err := client.Experiments(ctx)
+// runRemote submits one spec per experiment to the daemon fleet in a
+// batch, which shards them across the daemons and keeps every remote
+// worker busy; results print in submission order. A nil names slice
+// means every experiment the fleet registers.
+func runRemote(ctx context.Context, fleet *service.Fleet, names []string, o exp.Options, format string, stdout, stderr io.Writer) int {
+	// Resolve every name against the fleet's registry before submitting
+	// anything, mirroring runLocal's fail-fast contract: a typo late in
+	// the list must not discard completed simulations.
+	exps, err := fleet.Experiments(ctx)
 	if err != nil {
 		fmt.Fprintln(stderr, "hmcsim:", err)
 		return 1
@@ -243,46 +250,51 @@ func runRemote(ctx context.Context, client *service.Client, names []string, o ex
 	}
 	for _, name := range names {
 		if !known[name] {
-			fmt.Fprintf(stderr, "hmcsim: unknown experiment %q on %s\n", name, client.Base)
+			fmt.Fprintf(stderr, "hmcsim: unknown experiment %q on the fleet\n", name)
 			return 2
 		}
 	}
 
-	var results []json.RawMessage
-	for _, name := range names {
-		start := time.Now()
-		job, err := client.Run(ctx, hmcsim.Spec{Exp: name, Options: o}, 0)
-		if err != nil {
-			if ctx.Err() != nil && job.ID != "" {
-				// Interrupted mid-poll: best-effort cancel so the
-				// abandoned simulation does not occupy a daemon worker.
-				cctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-				defer cancel()
-				if _, cerr := client.Cancel(cctx, job.ID); cerr != nil {
-					fmt.Fprintf(stderr, "hmcsim: interrupted; could not cancel job %s: %v\n", job.ID, cerr)
-				} else {
-					fmt.Fprintf(stderr, "hmcsim: interrupted; canceled job %s\n", job.ID)
+	specs := make([]hmcsim.Spec, len(names))
+	for i, name := range names {
+		specs[i] = hmcsim.Spec{Exp: name, Options: o}
+	}
+	if format == "text" {
+		// Batched runs complete out of order, so stdout keeps the
+		// ordered rendering below; a progress line per completion keeps
+		// a long fleet run from sitting silent for minutes.
+		fleet.OnDone = func(spec hmcsim.Spec, v service.JobView) {
+			fmt.Fprintf(stderr, "hmcsim: %s %s\n", spec.Exp, jobOutcome(v))
+		}
+	}
+	views, err := fleet.Run(ctx, specs)
+	if err != nil {
+		if ctx.Err() != nil {
+			// The fleet has already canceled its in-flight jobs (and
+			// reported each through Logf) on the way out.
+			fmt.Fprintln(stderr, "hmcsim: interrupted")
+			return 1
+		}
+		// Salvage what finished before the failure: in text mode the
+		// completed results still print (as the old one-job-at-a-time
+		// path would have), so a sweep that dies on its last experiment
+		// does not discard hours of finished simulations.
+		if format == "text" {
+			for i, job := range views {
+				if job.State == service.StateDone {
+					fmt.Fprintln(stdout, job.Text)
+					fmt.Fprintf(stdout, "[%s %s]\n\n", names[i], jobOutcome(job))
 				}
-				return 1
 			}
-			fmt.Fprintln(stderr, "hmcsim:", err)
-			return 1
 		}
-		switch job.State {
-		case service.StateFailed:
-			fmt.Fprintf(stderr, "hmcsim: %s failed: %s\n", name, job.Error)
-			return 1
-		case service.StateCanceled:
-			fmt.Fprintf(stderr, "hmcsim: %s canceled by the server\n", name)
-			return 1
-		}
+		fmt.Fprintln(stderr, "hmcsim:", err)
+		return 1
+	}
+	var results []json.RawMessage
+	for i, job := range views {
 		if format == "text" {
 			fmt.Fprintln(stdout, job.Text)
-			how := "simulated"
-			if job.Cached {
-				how = "served from cache"
-			}
-			fmt.Fprintf(stdout, "[%s %s in %v]\n\n", name, how, time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(stdout, "[%s %s]\n\n", names[i], jobOutcome(job))
 		} else {
 			results = append(results, job.Result)
 		}
@@ -291,6 +303,17 @@ func runRemote(ctx context.Context, client *service.Client, names []string, o ex
 		return emitJSON(stdout, stderr, results)
 	}
 	return 0
+}
+
+// jobOutcome renders how a remote job finished and how long it took,
+// shared by the live progress lines and the final ordered output.
+func jobOutcome(v service.JobView) string {
+	how := "simulated"
+	if v.Cached {
+		how = "served from cache"
+	}
+	elapsed := time.Duration(v.ElapsedMs * float64(time.Millisecond))
+	return fmt.Sprintf("%s in %v", how, elapsed.Round(time.Millisecond))
 }
 
 func emitJSON[T any](stdout, stderr io.Writer, results []T) int {

@@ -202,16 +202,104 @@ func TestRemoteFailsFastOnUnknownName(t *testing.T) {
 	}
 }
 
+// TestFleetRunAllMatchesLocal is the batching acceptance path: against
+// a 4-worker daemon, `hmcsim -exp all -server URL` must complete the
+// whole registry with at least two jobs simulating concurrently (the
+// batch submission fills the worker pool instead of trickling one job
+// per round-trip), and the JSON output must be byte-identical to the
+// local run.
+func TestFleetRunAllMatchesLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick registry twice")
+	}
+	svc := service.New(service.Config{Workers: 4}, exp.Runners())
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() { ts.Close(); svc.Close() })
+
+	args := []string{"-exp", "all", "-quick", "-format", "json"}
+	var localOut, remoteOut, stderr bytes.Buffer
+	if code := run(context.Background(), args, &localOut, &stderr); code != 0 {
+		t.Fatalf("local run exited %d: %s", code, stderr.String())
+	}
+	remoteArgs := append([]string{"-server", ts.URL}, args...)
+	if code := run(context.Background(), remoteArgs, &remoteOut, &stderr); code != 0 {
+		t.Fatalf("fleet run exited %d: %s", code, stderr.String())
+	}
+	if !bytes.Equal(localOut.Bytes(), remoteOut.Bytes()) {
+		t.Fatal("fleet-run -exp all JSON differs from the local run")
+	}
+
+	st := svc.Snapshot()
+	if st.InflightPeak < 2 {
+		t.Fatalf("inflight peak %d, want >= 2: the batch path left the worker pool idle", st.InflightPeak)
+	}
+	if st.Batches == 0 {
+		t.Fatal("the CLI never used the batch endpoint")
+	}
+	if done, want := st.Jobs[service.StateDone], len(exp.Names()); done < want {
+		t.Fatalf("daemon completed %d jobs, want >= %d", done, want)
+	}
+}
+
+// TestRemoteRunSpansDaemons: a comma-separated -server list shards the
+// experiment list across every daemon while output stays identical to a
+// single-daemon run.
+func TestRemoteRunSpansDaemons(t *testing.T) {
+	var services []*service.Server
+	var urls []string
+	for i := 0; i < 2; i++ {
+		svc := service.New(service.Config{Workers: 2}, exp.Runners())
+		ts := httptest.NewServer(svc.Handler())
+		t.Cleanup(func() { ts.Close(); svc.Close() })
+		services = append(services, svc)
+		urls = append(urls, ts.URL)
+	}
+
+	args := []string{
+		"-server", strings.Join(urls, ","),
+		"-exp", "table1,eq1,fig6,fig14", "-quick", "-format", "json",
+	}
+	var out, stderr bytes.Buffer
+	if code := run(context.Background(), args, &out, &stderr); code != 0 {
+		t.Fatalf("multi-daemon run exited %d: %s", code, stderr.String())
+	}
+	var results []hmcsim.Result
+	if err := json.Unmarshal(out.Bytes(), &results); err != nil {
+		t.Fatalf("output: %v", err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4", len(results))
+	}
+	for i, want := range []string{"table1", "eq1", "fig6", "fig14"} {
+		if results[i].Name != want {
+			t.Fatalf("result %d is %q, want %q (submission order lost)", i, results[i].Name, want)
+		}
+	}
+	// Every job ran somewhere on the fleet, exactly once each. (That
+	// every daemon receives a share of a large-enough backlog is pinned
+	// deterministically in internal/service's TestFleetShardsAcrossDaemons;
+	// with four fast specs the split here is scheduler-dependent.)
+	total := 0
+	for i, svc := range services {
+		n := svc.Snapshot().Jobs[service.StateDone]
+		total += n
+		t.Logf("daemon %d completed %d jobs", i, n)
+	}
+	if total != 4 {
+		t.Fatalf("fleet daemons completed %d jobs in total, want 4", total)
+	}
+}
+
 // blockingRunner parks until its context is canceled, standing in for a
 // long simulation.
 type blockingRunner struct{ started chan struct{} }
 
 func (b *blockingRunner) Name() string     { return "block" }
 func (b *blockingRunner) Describe() string { return "blocks until canceled" }
-func (b *blockingRunner) Run(ctx context.Context, o hmcsim.Options) hmcsim.Result {
+func (b *blockingRunner) Run(ctx context.Context, o hmcsim.Options) (hmcsim.Result, error) {
 	close(b.started)
 	<-ctx.Done()
-	return hmcsim.Result{}
+	return hmcsim.Result{}, ctx.Err()
 }
 
 // TestRemoteInterruptCancelsJob: Ctrl-C mid-poll must not orphan the

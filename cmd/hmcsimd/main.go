@@ -11,10 +11,13 @@
 // Endpoints:
 //
 //	POST   /v1/jobs        submit {"exp": "fig6", "options": {"quick": true}}
+//	POST   /v1/batch       submit a JSON array of specs; admission is
+//	                       all-or-nothing against the queue bound
 //	GET    /v1/jobs/{id}   status; includes result and text when done
 //	DELETE /v1/jobs/{id}   cancel a queued or running job
 //	GET    /v1/experiments registry listing
-//	GET    /v1/stats       queue, worker, job and cache statistics
+//	GET    /v1/stats       queue, worker, job, cache, batch and
+//	                       inflight statistics
 //	GET    /v1/healthz     liveness probe
 //	GET    /debug/pprof/   runtime profiles (CPU, heap, ...; requires -pprof)
 //

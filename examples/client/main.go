@@ -1,23 +1,40 @@
-// Client example: talk to a running hmcsimd with nothing but net/http,
-// showing the wire protocol end to end — list the registry, submit a
-// job, poll until it completes, and print the result plus the daemon's
-// cache statistics. Submit the same spec twice and the second run comes
-// back instantly with "cached": true.
+// Client example: drive one or more running hmcsimd daemons, first with
+// nothing but net/http — showing the wire protocol end to end — and
+// then through the fleet scheduler, farming a seed-stability sweep out
+// across every daemon with hmcsim.RemoteRunner.
 //
-// Start a daemon first:
+// Part 1 lists the registry, submits a job, polls until it completes,
+// and prints the result plus the daemon's cache statistics. Submit the
+// same spec twice and the second run comes back instantly with
+// "cached": true.
+//
+// Part 2 builds a service.Fleet over the -server list (comma-separated
+// URLs shard across daemons) and runs the same experiment under four
+// different seeds concurrently: hmcsim.RemoteRunner adapts the remote
+// experiment to the hmcsim.Runner interface, so hmcsim.Sweep fans the
+// points out exactly as it would fan out local systems — every daemon's
+// worker pool fills, and identical specs are deduped and cache-served.
+//
+// Start one or more daemons first:
 //
 //	go run ./cmd/hmcsimd -addr :8080
-//	go run ./examples/client -server http://localhost:8080 -exp eq1
+//	go run ./cmd/hmcsimd -addr :8081
+//	go run ./examples/client -server http://localhost:8080,http://localhost:8081 -exp eq1
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"strings"
 	"time"
+
+	"hmcsim"
+	"hmcsim/internal/service"
 )
 
 type job struct {
@@ -31,22 +48,25 @@ type job struct {
 }
 
 func main() {
-	server := "http://localhost:8080"
+	servers := "http://localhost:8080"
 	exp := "eq1"
 	quick := true
 	args := os.Args[1:]
 	for i := 0; i < len(args)-1; i++ {
 		switch args[i] {
 		case "-server":
-			server = args[i+1]
+			servers = args[i+1]
 		case "-exp":
 			exp = args[i+1]
 		}
 	}
+	first := strings.Split(servers, ",")[0]
+
+	// ---- Part 1: the wire protocol, by hand against the first daemon.
 
 	// GET /v1/experiments — what can this daemon run?
 	var exps []struct{ Name, Title string }
-	getJSON(server+"/v1/experiments", &exps)
+	getJSON(first+"/v1/experiments", &exps)
 	fmt.Printf("daemon serves %d experiments:\n", len(exps))
 	for _, e := range exps {
 		fmt.Printf("  %-8s %s\n", e.Name, e.Title)
@@ -55,7 +75,7 @@ func main() {
 	// POST /v1/jobs — submit a spec. 202 means queued; 200 means the
 	// result came straight from the content-addressed cache.
 	spec := fmt.Sprintf(`{"exp": %q, "options": {"quick": %v}}`, exp, quick)
-	resp, err := http.Post(server+"/v1/jobs", "application/json", bytes.NewBufferString(spec))
+	resp, err := http.Post(first+"/v1/jobs", "application/json", bytes.NewBufferString(spec))
 	if err != nil {
 		fail(err)
 	}
@@ -66,7 +86,7 @@ func main() {
 	// GET /v1/jobs/{id} — poll until terminal.
 	for j.State == "queued" || j.State == "running" {
 		time.Sleep(100 * time.Millisecond)
-		getJSON(server+"/v1/jobs/"+j.ID, &j)
+		getJSON(first+"/v1/jobs/"+j.ID, &j)
 	}
 	switch j.State {
 	case "done":
@@ -81,15 +101,48 @@ func main() {
 		fail(fmt.Errorf("job ended %s", j.State))
 	}
 
-	// GET /v1/stats — run this program twice and watch hits climb.
+	// ---- Part 2: farm a seed sweep out across the whole fleet.
+	//
+	// RemoteRunner makes the daemon-served experiment a drop-in
+	// hmcsim.Runner, so the fan-out below is byte-for-byte the shape of
+	// a local sweep — except each point is batched to a daemon, deduped
+	// by content key, and failed over if a daemon dies.
+	fleet := service.NewFleet(servers)
+	fleet.Logf = func(format string, a ...any) { fmt.Fprintf(os.Stderr, "fleet: "+format+"\n", a...) }
+	remote := hmcsim.RemoteRunner{Exp: exp, On: fleet}
+
+	seeds := []uint64{1, 2, 3, 4}
+	fmt.Printf("sweeping %s over seeds %v across %d daemon(s)...\n", exp, seeds, len(fleet.Clients))
+	start := time.Now()
+	ctx := context.Background()
+	type point struct {
+		res hmcsim.Result
+		err error
+	}
+	points := hmcsim.Sweep(ctx, len(seeds), len(seeds), func(i int) point {
+		res, err := remote.Run(ctx, hmcsim.Options{Quick: quick, Seed: seeds[i]})
+		return point{res, err}
+	})
+	for i, p := range points {
+		if p.err != nil {
+			fail(fmt.Errorf("seed %d: %w", seeds[i], p.err))
+		}
+		fmt.Printf("  seed %d: %s, %d series\n", seeds[i], p.res.Name, len(p.res.Series))
+	}
+	fmt.Printf("fleet sweep of %d points took %v\n\n", len(seeds), time.Since(start).Round(time.Millisecond))
+
+	// GET /v1/stats — run this program twice and watch hits climb; the
+	// batch and inflight counters show the fleet filling the pool.
 	var stats struct {
 		Cache struct {
 			Hits, Misses, Entries uint64
 		}
+		Batches      uint64
+		InflightPeak int
 	}
-	getJSON(server+"/v1/stats", &stats)
-	fmt.Printf("cache: %d hits, %d misses, %d entries\n",
-		stats.Cache.Hits, stats.Cache.Misses, stats.Cache.Entries)
+	getJSON(first+"/v1/stats", &stats)
+	fmt.Printf("cache: %d hits, %d misses, %d entries; %d batches, inflight peak %d\n",
+		stats.Cache.Hits, stats.Cache.Misses, stats.Cache.Entries, stats.Batches, stats.InflightPeak)
 }
 
 func getJSON(url string, out any) {

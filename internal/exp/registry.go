@@ -15,11 +15,45 @@ type Meta struct {
 	Title string
 }
 
+// RunnerFunc is a registered experiment body: it returns the structured
+// result, or ctx's error when the run was cancelled mid-sweep. The
+// typed and plain adapters build one from the common experiment shapes
+// with the cancellation check already in place.
+type RunnerFunc func(context.Context, Options) (hmcsim.Result, error)
+
+// typed adapts an experiment returning a typed result (Fig6Result,
+// TableIResult, ...). The Result() conversion runs only after the
+// cancellation check: a cancelled sweep leaves zero-valued slots that
+// must never reach the conversion — they would serialize as real data
+// points, or crash conversions that compute on them (fig10's Pearson
+// correlation over empty samples, for one).
+func typed[T interface{ Result() hmcsim.Result }](fn func(context.Context, Options) T) RunnerFunc {
+	return func(ctx context.Context, o Options) (hmcsim.Result, error) {
+		r := fn(ctx, o)
+		if err := ctx.Err(); err != nil {
+			return hmcsim.Result{}, err
+		}
+		return r.Result(), nil
+	}
+}
+
+// plain adapts an experiment that already returns the structured form,
+// applying the same after-sweep cancellation check as typed.
+func plain(fn func(context.Context, Options) hmcsim.Result) RunnerFunc {
+	return func(ctx context.Context, o Options) (hmcsim.Result, error) {
+		r := fn(ctx, o)
+		if err := ctx.Err(); err != nil {
+			return hmcsim.Result{}, err
+		}
+		return r, nil
+	}
+}
+
 // entry implements hmcsim.Runner for one registered experiment.
 type entry struct {
 	name string
 	meta Meta
-	fn   func(context.Context, Options) hmcsim.Result
+	fn   RunnerFunc
 }
 
 func (e entry) Name() string     { return e.name }
@@ -27,13 +61,21 @@ func (e entry) Describe() string { return e.meta.Title }
 
 // Run executes the experiment and stamps the registry metadata and the
 // options onto the result. Cancelling ctx aborts between sweep points;
-// the partial result must then be discarded.
-func (e entry) Run(ctx context.Context, o Options) hmcsim.Result {
-	res := e.fn(ctx, o)
+// the partially-zeroed sweep output is then discarded — every
+// registered experiment returns ctx's error rather than a Result whose
+// unscheduled slots silently serialize as real zero-valued data points.
+func (e entry) Run(ctx context.Context, o Options) (hmcsim.Result, error) {
+	res, err := e.fn(ctx, o)
+	if err == nil {
+		err = ctx.Err() // belt and braces for hand-rolled RunnerFuncs
+	}
+	if err != nil {
+		return hmcsim.Result{}, err
+	}
 	res.Name = e.name
 	res.Title = e.meta.Title
 	res.Options = o
-	return res
+	return res, nil
 }
 
 var (
@@ -43,7 +85,7 @@ var (
 
 // Register adds a named experiment. Names must be unique; registration
 // order is the presentation order of `-exp all`.
-func Register(name string, meta Meta, fn func(context.Context, Options) hmcsim.Result) {
+func Register(name string, meta Meta, fn RunnerFunc) {
 	if _, dup := byName[name]; dup {
 		panic(fmt.Sprintf("exp: duplicate runner %q", name))
 	}
@@ -79,38 +121,39 @@ func Runner(name string) (hmcsim.Runner, error) {
 	return registry[i], nil
 }
 
-// Run executes one registered experiment by name.
+// Run executes one registered experiment by name. Cancelling ctx makes
+// it return the context's error instead of a partial result.
 func Run(ctx context.Context, name string, o Options) (hmcsim.Result, error) {
 	r, err := Runner(name)
 	if err != nil {
 		return hmcsim.Result{}, err
 	}
-	return r.Run(ctx, o), nil
+	return r.Run(ctx, o)
 }
 
-// The paper's tables and figures, in presentation order. Each closure
-// defers to the typed runner and converts to the structured result, so
-// the typed APIs (Fig6, TableI, ...) remain available to tests that
-// assert on curve shapes.
+// The paper's tables and figures, in presentation order. Each defers to
+// the typed runner, so the typed APIs (Fig6, TableI, ...) remain
+// available to tests that assert on curve shapes; the typed adapter
+// holds the conversion back until the sweep is known to have completed.
 func init() {
 	Register("table1", Meta{Title: "Table I: HMC request/response read/write sizes"},
-		func(ctx context.Context, o Options) hmcsim.Result { return TableI().Result() })
+		typed(func(ctx context.Context, o Options) TableIResult { return TableI() }))
 	Register("eq1", Meta{Title: "Equation 1: peak bi-directional link bandwidth"},
-		func(ctx context.Context, o Options) hmcsim.Result { return PeakBandwidth().Result() })
+		typed(func(ctx context.Context, o Options) PeakBandwidthResult { return PeakBandwidth() }))
 	Register("fig6", Meta{Title: "Figure 6: read latency vs bi-directional bandwidth per access pattern"},
-		func(ctx context.Context, o Options) hmcsim.Result { return Fig6(ctx, o).Result() })
+		typed(Fig6))
 	Register("fig7", Meta{Title: "Figure 7: low-load latency vs stream length (1-55)"},
-		func(ctx context.Context, o Options) hmcsim.Result { return Fig7(ctx, o).Result() })
+		typed(Fig7))
 	Register("fig8", Meta{Title: "Figure 8: low-load latency vs stream length (1-350)"},
-		func(ctx context.Context, o Options) hmcsim.Result { return Fig8(ctx, o).Result() })
+		typed(Fig8))
 	Register("fig9", Meta{Title: "Figure 9: QoS collision study, 3 pinned ports + 1 sweeping port"},
-		func(ctx context.Context, o Options) hmcsim.Result { return Fig9(ctx, o).Result() })
+		typed(Fig9))
 	Register("fig10", Meta{Title: "Figures 10-12: four-vault combination latency study"},
-		func(ctx context.Context, o Options) hmcsim.Result { return Fig10(ctx, o).Result() })
+		typed(Fig10))
 	Register("fig13", Meta{Title: "Figure 13: bandwidth vs active ports per access pattern"},
-		func(ctx context.Context, o Options) hmcsim.Result { return Fig13(ctx, o).Result() })
+		typed(Fig13))
 	Register("fig14", Meta{Title: "Figure 14: outstanding requests via Little's law"},
-		func(ctx context.Context, o Options) hmcsim.Result { return Fig14(ctx, o).Result() })
+		typed(Fig14))
 	Register("ddr", Meta{Title: "DDR3 baseline comparison (Section IV-B)"},
-		func(ctx context.Context, o Options) hmcsim.Result { return DDRComparison(ctx, o).Result() })
+		typed(DDRComparison))
 }

@@ -1,7 +1,9 @@
 package exp
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 
@@ -33,6 +35,56 @@ func TestRunUnknown(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "fig99") {
 		t.Errorf("error %q does not name the unknown experiment", err)
+	}
+}
+
+// TestRunCanceledMidSweepReturnsError is the regression test for the
+// partial-result bug: a context cancelled mid-sweep used to yield a
+// Result whose unscheduled sweep slots were zero values, which `-format
+// json` then serialized as real data points. Every registered
+// experiment now returns the context's error instead.
+func TestRunCanceledMidSweepReturnsError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	// An entry whose sweep cancels itself partway: points 0 and 1 run,
+	// the rest keep their zero values — exactly the shape a Ctrl-C
+	// leaves behind.
+	e := entry{name: "cancelcheck", meta: Meta{Title: "cancels itself mid-sweep"},
+		fn: plain(func(ctx context.Context, o Options) hmcsim.Result {
+			vals := hmcsim.Sweep(ctx, 1, 8, func(i int) float64 {
+				if i == 1 {
+					cancel()
+				}
+				return float64(i + 1)
+			})
+			s := hmcsim.Series{Name: "vals"}
+			for i, v := range vals {
+				s.Points = append(s.Points, hmcsim.Point{X: float64(i), Y: v})
+			}
+			return hmcsim.Result{Series: []hmcsim.Series{s}}
+		})}
+	res, err := e.Run(ctx, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(res.Series) != 0 {
+		t.Fatalf("partially-zeroed result returned alongside the error: %+v", res)
+	}
+}
+
+// TestAllRegisteredRunnersObserveCancellation: the central check covers
+// every registered experiment — a pre-cancelled context means an error,
+// never a zero-filled Result.
+func TestAllRegisteredRunnersObserveCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, r := range Runners() {
+		res, err := Run(ctx, r.Name(), Options{Quick: true, Workers: 1})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", r.Name(), err)
+		}
+		if len(res.Series) != 0 {
+			t.Errorf("%s: cancelled run returned %d series", r.Name(), len(res.Series))
+		}
 	}
 }
 

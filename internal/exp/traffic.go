@@ -138,11 +138,11 @@ func Traffic(ctx context.Context, o Options) hmcsim.Result {
 
 func init() {
 	Register("traffic-zipf", Meta{Title: "Synthetic traffic: latency/bandwidth vs zipf skew"},
-		func(ctx context.Context, o Options) hmcsim.Result { return TrafficZipf(ctx, o) })
+		plain(TrafficZipf))
 	Register("traffic-mix", Meta{Title: "Synthetic traffic: markov read/write mix sweep"},
-		func(ctx context.Context, o Options) hmcsim.Result { return TrafficMix(ctx, o) })
+		plain(TrafficMix))
 	Register("traffic-burst", Meta{Title: "Synthetic traffic: steady vs bursty open-loop injection"},
-		func(ctx context.Context, o Options) hmcsim.Result { return TrafficBurst(ctx, o) })
+		plain(TrafficBurst))
 	Register(hmcsim.TrafficExp, Meta{Title: "Synthetic traffic: run the spec in options.traffic"},
-		func(ctx context.Context, o Options) hmcsim.Result { return Traffic(ctx, o) })
+		plain(Traffic))
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -18,21 +19,76 @@ import (
 type Client struct {
 	// Base is the daemon's base URL, e.g. "http://localhost:8080".
 	Base string
-	// HTTP overrides the transport; nil uses http.DefaultClient.
+	// HTTP overrides the transport; nil uses a default client with a
+	// 30-second per-request timeout so an unresponsive daemon surfaces
+	// as an error (set HTTP to http.DefaultClient for no deadline).
 	HTTP *http.Client
 }
+
+// defaultHTTPClient bounds every request so a blackholed daemon — one
+// that accepts connections but never answers — surfaces as an error
+// that drives fleet failover instead of hanging the run. Individual
+// API calls are small and fast; long simulations are covered by
+// repeated polls, never by one long request.
+var defaultHTTPClient = &http.Client{Timeout: 30 * time.Second}
 
 func (c *Client) httpClient() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	return defaultHTTPClient
+}
+
+// maxResponseBytes bounds how much of a response body the client will
+// buffer — the mirror of the server's 1 MiB MaxBytesReader request
+// bound — so a misbehaving endpoint cannot balloon client memory.
+// Endpoints that return JobViews get the larger per-view budget, since
+// a terminal view inlines the full result JSON plus its rendered text;
+// batch responses scale that budget by the number of specs. The same
+// payload must never be acceptable through one endpoint and over-cap
+// through another.
+const (
+	maxResponseBytes      = 1 << 20
+	maxViewBytes          = 4 << 20
+	maxBatchResponseBytes = 64 << 20
+)
+
+// ErrResponseTooLarge marks a response that overran the client's size
+// bound. It is a client-side condition, not a daemon failure: a fleet
+// treats it as fatal (the same oversized result would come back from
+// every daemon) instead of failing the work over.
+var ErrResponseTooLarge = errors.New("response body exceeds the client bound")
+
+// APIError is a non-2xx daemon response: the HTTP status plus the
+// server's error message and machine-readable code. A Fleet uses the
+// status and code to tell retryable conditions (a full queue) from
+// daemon-dead ones (shutting down) and fatal ones (a bad spec).
+type APIError struct {
+	Status  int    // HTTP status code
+	Method  string // request method
+	Path    string // request path
+	Message string // the server's error message, if it sent one
+	Code    string // the server's machine-readable cause, if it sent one
+}
+
+func (e *APIError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("%s %s: %s (%d %s)", e.Method, e.Path, e.Message, e.Status, http.StatusText(e.Status))
+	}
+	return fmt.Sprintf("%s %s: %d %s", e.Method, e.Path, e.Status, http.StatusText(e.Status))
 }
 
 // do issues one request and decodes the JSON response into out,
-// converting non-2xx statuses into errors carrying the server's
-// error message.
+// converting non-2xx statuses into *APIError values carrying the
+// server's error message and code.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	return c.doCapped(ctx, method, path, body, out, maxResponseBytes)
+}
+
+// doCapped is do with an explicit response-size bound, for endpoints
+// whose legitimate payload scales with the request (a batch response
+// inlines one full result per cache-hit spec).
+func (c *Client) doCapped(ctx context.Context, method, path string, body, out any, capBytes int64) error {
 	var rd io.Reader
 	if body != nil {
 		blob, err := json.Marshal(body)
@@ -53,16 +109,21 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		return err
 	}
 	defer resp.Body.Close()
-	blob, err := io.ReadAll(resp.Body)
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, capBytes+1))
 	if err != nil {
 		return err
 	}
+	if int64(len(blob)) > capBytes {
+		return fmt.Errorf("%s %s: %w (%d bytes allowed)", method, path, ErrResponseTooLarge, capBytes)
+	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		apiErr := &APIError{Status: resp.StatusCode, Method: method, Path: path}
 		var e errorBody
 		if json.Unmarshal(blob, &e) == nil && e.Error != "" {
-			return fmt.Errorf("%s %s: %s (%s)", method, path, e.Error, resp.Status)
+			apiErr.Message = e.Error
+			apiErr.Code = e.Code
 		}
-		return fmt.Errorf("%s %s: %s", method, path, resp.Status)
+		return apiErr
 	}
 	if out == nil {
 		return nil
@@ -73,21 +134,35 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 // Submit posts a spec and returns the created (or cache-served) job.
 func (c *Client) Submit(ctx context.Context, spec hmcsim.Spec) (JobView, error) {
 	var v JobView
-	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &v)
+	err := c.doCapped(ctx, http.MethodPost, "/v1/jobs", spec, &v, maxViewBytes)
 	return v, err
+}
+
+// SubmitBatch posts a list of specs to /v1/batch and returns one view
+// per spec in submission order. Admission is all-or-nothing on the
+// daemon: a queue-full error means no job was created. The response
+// bound scales with the batch size — every cache-hit spec comes back
+// with its full result inlined — but is clamped to a fixed ceiling so
+// the bound stays a real memory guarantee; a batch of thousands of
+// large cache hits must be split by the caller instead.
+func (c *Client) SubmitBatch(ctx context.Context, specs []hmcsim.Spec) ([]JobView, error) {
+	capBytes := min(int64(max(len(specs), 1))*maxViewBytes, maxBatchResponseBytes)
+	var out []JobView
+	err := c.doCapped(ctx, http.MethodPost, "/v1/batch", specs, &out, capBytes)
+	return out, err
 }
 
 // Job fetches one job's current view.
 func (c *Client) Job(ctx context.Context, id string) (JobView, error) {
 	var v JobView
-	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &v)
+	err := c.doCapped(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &v, maxViewBytes)
 	return v, err
 }
 
 // Cancel requests cancellation and returns the resulting view.
 func (c *Client) Cancel(ctx context.Context, id string) (JobView, error) {
 	var v JobView
-	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &v)
+	err := c.doCapped(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &v, maxViewBytes)
 	return v, err
 }
 
@@ -115,8 +190,10 @@ func (c *Client) Wait(ctx context.Context, id string, interval time.Duration) (J
 }
 
 // Run submits a spec and waits for its terminal view — the remote
-// equivalent of exp.Run. On a polling error the returned view still
-// carries the submitted job's ID, so callers can cancel the orphan.
+// equivalent of exp.Run. When ctx is cancelled mid-wait the daemon
+// would otherwise keep simulating an abandoned job on a worker, so Run
+// issues a best-effort cancellation over a short detached timeout
+// before returning; the returned view still carries the job's ID.
 func (c *Client) Run(ctx context.Context, spec hmcsim.Spec, interval time.Duration) (JobView, error) {
 	v, err := c.Submit(ctx, spec)
 	if err != nil || v.State.Terminal() {
@@ -126,7 +203,20 @@ func (c *Client) Run(ctx context.Context, spec hmcsim.Spec, interval time.Durati
 	if w.ID == "" {
 		w.ID = v.ID
 	}
+	if err != nil && ctx.Err() != nil && !w.State.Terminal() {
+		c.CancelOrphan(w.ID) //nolint:errcheck // best-effort; the caller is already unwinding
+	}
 	return w, err
+}
+
+// CancelOrphan cancels a job whose caller is abandoning it, detached
+// from the (typically already-cancelled) caller context and bounded by
+// a short timeout so unwinding never hangs on a dead daemon.
+func (c *Client) CancelOrphan(id string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_, err := c.Cancel(ctx, id)
+	return err
 }
 
 // Experiments lists the daemon's registry.

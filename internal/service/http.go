@@ -15,13 +15,38 @@ type ExperimentView struct {
 }
 
 // errorBody is the JSON error envelope every non-2xx response uses.
+// Code carries the machine-readable cause for errors clients must tell
+// apart (a full queue is worth waiting out; a shutting-down daemon is
+// not) — matching on the human-readable text would break the moment it
+// is reworded or a proxy rewrites the body.
 type errorBody struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
+// Machine-readable error codes carried in errorBody.Code.
+const (
+	codeQueueFull    = "queue_full"
+	codeShuttingDown = "shutting_down"
+)
+
+// errorCode maps sentinel errors to their wire code.
+func errorCode(err error) string {
+	switch {
+	case errors.Is(err, errQueueFull):
+		return codeQueueFull
+	case errors.Is(err, errClosed):
+		return codeShuttingDown
+	}
+	return ""
 }
 
 // Handler returns the service's HTTP API:
 //
 //	POST   /v1/jobs        submit a spec; 200 on a cache hit, 202 queued
+//	POST   /v1/batch       submit a JSON array of specs atomically;
+//	                       200 when every job is already terminal
+//	                       (cache hits), 202 otherwise
 //	GET    /v1/jobs/{id}   job status and, when done, its result
 //	DELETE /v1/jobs/{id}   cancel a queued or running job
 //	GET    /v1/experiments the experiment registry
@@ -30,6 +55,7 @@ type errorBody struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
@@ -47,7 +73,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorBody{Error: err.Error()})
+	writeJSON(w, status, errorBody{Error: err.Error(), Code: errorCode(err)})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -75,6 +101,46 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, v)
+}
+
+// handleBatch admits a JSON array of specs in one request. Admission is
+// all-or-nothing: a 503 means no job was created, so a retrying client
+// never has to reconcile a half-admitted batch. Per-spec outcomes
+// (cache hits, coalesced duplicates, queued jobs) come back as one
+// JobView per submitted spec, in submission order.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	// Batches legitimately carry thousands of specs (a whole sweep in
+	// one post), so the bound is 16x the single-spec endpoint's — room
+	// for ~10^5 specs while still capping a hostile body.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	var specs []hmcsim.Spec
+	if err := dec.Decode(&specs); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	jobs, err := s.SubmitBatch(specs)
+	switch {
+	case errors.Is(err, errQueueFull), errors.Is(err, errClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	views := make([]JobView, len(jobs))
+	allDone := true
+	for i, j := range jobs {
+		views[i] = j.View()
+		if !views[i].State.Terminal() {
+			allDone = false
+		}
+	}
+	if allDone {
+		writeJSON(w, http.StatusOK, views)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, views)
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {

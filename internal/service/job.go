@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"sync"
 	"time"
 
@@ -53,6 +54,7 @@ type Job struct {
 	state     State
 	cached    bool
 	err       string
+	errCode   string
 	result    json.RawMessage
 	text      string
 	submitted time.Time
@@ -68,12 +70,36 @@ type JobView struct {
 	Key string `json:"key"`
 	// Cached marks results served from the cache rather than computed
 	// by this job.
-	Cached bool            `json:"cached"`
-	Error  string          `json:"error,omitempty"`
-	Result json.RawMessage `json:"result,omitempty"`
-	Text   string          `json:"text,omitempty"`
+	Cached bool   `json:"cached"`
+	Error  string `json:"error,omitempty"`
+	// ErrorCode is the machine-readable cause for failures clients must
+	// classify (currently only queue_full, from the coalescing fallback
+	// losing its re-enqueue); prose in Error is for humans.
+	ErrorCode string          `json:"errorCode,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
+	Text      string          `json:"text,omitempty"`
 	// ElapsedMs is submission-to-terminal wall time; ~0 for cache hits.
 	ElapsedMs float64 `json:"elapsedMs,omitempty"`
+}
+
+// Decode unpacks a terminal view's result into the public Result type,
+// restoring the pre-rendered text that Result excludes from its own
+// JSON. It errors on non-done views, carrying the job's error message
+// for failed ones.
+func (v JobView) Decode() (hmcsim.Result, error) {
+	switch v.State {
+	case StateDone:
+	case StateFailed:
+		return hmcsim.Result{}, fmt.Errorf("job %s failed: %s", v.ID, v.Error)
+	default:
+		return hmcsim.Result{}, fmt.Errorf("job %s is %s, not done", v.ID, v.State)
+	}
+	var res hmcsim.Result
+	if err := json.Unmarshal(v.Result, &res); err != nil {
+		return hmcsim.Result{}, fmt.Errorf("decode job %s result: %w", v.ID, err)
+	}
+	res.Text = v.Text
+	return res, nil
 }
 
 // View snapshots the job for serialization.
@@ -81,14 +107,15 @@ func (j *Job) View() JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := JobView{
-		ID:     j.id,
-		State:  j.state,
-		Spec:   j.spec,
-		Key:    j.key,
-		Cached: j.cached,
-		Error:  j.err,
-		Result: j.result,
-		Text:   j.text,
+		ID:        j.id,
+		State:     j.state,
+		Spec:      j.spec,
+		Key:       j.key,
+		Cached:    j.cached,
+		Error:     j.err,
+		ErrorCode: j.errCode,
+		Result:    j.result,
+		Text:      j.text,
 	}
 	if !j.finished.IsZero() {
 		v.ElapsedMs = float64(j.finished.Sub(j.submitted).Microseconds()) / 1000
@@ -154,13 +181,17 @@ func (j *Job) complete(o outcome, cached bool) {
 }
 
 // fail records an error outcome.
-func (j *Job) fail(msg string) {
+func (j *Job) fail(msg string) { j.failCode(msg, "") }
+
+// failCode records an error outcome with a machine-readable cause.
+func (j *Job) failCode(msg, code string) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state.Terminal() {
 		return
 	}
 	j.err = msg
+	j.errCode = code
 	j.finishLocked(StateFailed)
 }
 

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hmcsim"
@@ -84,6 +85,16 @@ type Server struct {
 	stop    context.CancelFunc
 	queue   chan *Job
 	wg      sync.WaitGroup
+
+	// running tracks simulations executing right now; runningPeak is its
+	// high-water mark since startup — the number a batch client checks to
+	// confirm it really filled the worker pool.
+	running     atomic.Int64
+	runningPeak atomic.Int64
+	// batches / batchSpecs count batch submissions and the specs they
+	// carried.
+	batches    atomic.Uint64
+	batchSpecs atomic.Uint64
 
 	mu    sync.Mutex
 	jobs  map[string]*Job
@@ -167,6 +178,16 @@ func (s *Server) runJob(j *Job) {
 		j.completeFromCache(blob)
 		return
 	}
+	if n := s.running.Add(1); n > s.runningPeak.Load() {
+		// Racy read-then-CAS keeps the peak monotone without a lock.
+		for {
+			peak := s.runningPeak.Load()
+			if n <= peak || s.runningPeak.CompareAndSwap(peak, n) {
+				break
+			}
+		}
+	}
+	defer s.running.Add(-1)
 	runner := s.runners[j.spec.Exp] // validated at submission
 	o := j.spec.Options
 	o.Workers = 1 // one single-threaded engine per worker
@@ -196,7 +217,7 @@ func runSafely(ctx context.Context, r hmcsim.Runner, o hmcsim.Options) (res hmcs
 			err = fmt.Errorf("experiment %s panicked: %v", r.Name(), p)
 		}
 	}()
-	return r.Run(ctx, o), nil
+	return r.Run(ctx, o)
 }
 
 // encodeOutcome marshals a result into the cache value format.
@@ -240,29 +261,90 @@ func (c *Cache) peek(key string) ([]byte, bool) {
 // otherwise enqueues it for the worker pool. The returned job is
 // already terminal for cache hits.
 func (s *Server) Submit(spec hmcsim.Spec) (*Job, error) {
-	if _, ok := s.runners[spec.Exp]; !ok {
-		return nil, fmt.Errorf("unknown experiment %q (have %v)", spec.Exp, s.names)
-	}
-	// Reject malformed option payloads (e.g. an unknown traffic
-	// pattern) before they consume a queue slot; the HTTP layer maps
-	// this to a 400 with the same helpful message the CLI prints.
-	if err := spec.Validate(); err != nil {
-		return nil, err
-	}
-	key, err := spec.Key()
+	jobs, err := s.submit([]hmcsim.Spec{spec})
 	if err != nil {
 		return nil, err
 	}
+	return jobs[0], nil
+}
 
-	// Decode a cache hit before taking the server lock, so hit-heavy
-	// traffic does not serialize all submissions behind unmarshal work.
-	var hit *outcome
-	if blob, ok := s.cache.Get(key); ok {
-		var o outcome
-		if err := json.Unmarshal(blob, &o); err != nil {
-			return nil, fmt.Errorf("decode cached outcome: %w", err)
+// MaxBatchSpecs bounds one batch submission. Every admitted spec costs
+// a job record (and an adoption goroutine when it coalesces), all
+// created under the server lock, so an uncapped batch would let a
+// single request flood the job table and stall every other endpoint.
+const MaxBatchSpecs = 4096
+
+// SubmitBatch validates and admits a whole list of specs at once: cache
+// hits come back as already-terminal jobs, duplicates (within the batch
+// or of an already in-flight spec) coalesce onto one representative,
+// and the rest are queued atomically — either every spec that needs a
+// queue slot gets one, or the entire batch is rejected with the
+// queue-full error and no job is created. Returned jobs are in
+// submission order.
+func (s *Server) SubmitBatch(specs []hmcsim.Spec) ([]*Job, error) {
+	if len(specs) == 0 {
+		return nil, errors.New("empty batch")
+	}
+	if len(specs) > MaxBatchSpecs {
+		return nil, fmt.Errorf("batch of %d specs exceeds the %d-spec limit; split the submission", len(specs), MaxBatchSpecs)
+	}
+	jobs, err := s.submit(specs)
+	if err == nil {
+		s.batches.Add(1)
+		s.batchSpecs.Add(uint64(len(specs)))
+	}
+	return jobs, err
+}
+
+// specErr prefixes an error with the offending spec's batch index, but
+// only when there is more than one spec to point into.
+func specErr(n, i int, err error) error {
+	if n == 1 {
+		return err
+	}
+	return fmt.Errorf("spec %d: %w", i, err)
+}
+
+// submit is the shared admission path behind Submit and SubmitBatch.
+func (s *Server) submit(specs []hmcsim.Spec) ([]*Job, error) {
+	// Validate everything before admitting anything: a bad spec late in
+	// a batch must not leave the earlier ones running.
+	keys := make([]string, len(specs))
+	for i, spec := range specs {
+		if _, ok := s.runners[spec.Exp]; !ok {
+			return nil, specErr(len(specs), i, fmt.Errorf("unknown experiment %q (have %v)", spec.Exp, s.names))
 		}
-		hit = &o
+		// Reject malformed option payloads (e.g. an unknown traffic
+		// pattern) before they consume a queue slot; the HTTP layer maps
+		// this to a 400 with the same helpful message the CLI prints.
+		if err := spec.Validate(); err != nil {
+			return nil, specErr(len(specs), i, err)
+		}
+		key, err := spec.Key()
+		if err != nil {
+			return nil, specErr(len(specs), i, err)
+		}
+		keys[i] = key
+	}
+
+	// Decode cache hits before taking the server lock, so hit-heavy
+	// traffic does not serialize all submissions behind unmarshal work.
+	// In-batch duplicates of a cached key share one lookup and decode.
+	hits := make([]*outcome, len(specs))
+	hitByKey := map[string]*outcome{}
+	for i, key := range keys {
+		if o, ok := hitByKey[key]; ok {
+			hits[i] = o
+			continue
+		}
+		if blob, ok := s.cache.Get(key); ok {
+			var o outcome
+			if err := json.Unmarshal(blob, &o); err != nil {
+				return nil, specErr(len(specs), i, fmt.Errorf("decode cached outcome: %w", err))
+			}
+			hitByKey[key] = &o
+			hits[i] = &o
+		}
 	}
 
 	s.mu.Lock()
@@ -270,39 +352,88 @@ func (s *Server) Submit(spec hmcsim.Spec) (*Job, error) {
 	if s.closed {
 		return nil, errClosed
 	}
-	s.seq++
-	ctx, cancel := context.WithCancel(s.baseCtx)
-	j := &Job{
-		id:     fmt.Sprintf("j%06d", s.seq),
-		spec:   spec,
-		key:    key,
-		ctx:    ctx,
-		cancel: cancel,
-		state:  StateQueued,
-		done:   make(chan struct{}),
+	// All-or-nothing admission, decided in one classification pass: each
+	// spec is a cache hit, an adoption (of an in-flight twin, or of an
+	// earlier queue-bound spec in this same batch), or needs a queue
+	// slot. The disposition is recorded here and replayed verbatim
+	// below, so the number of queue sends exactly equals the slot count
+	// checked against the queue — a twin turning terminal between the
+	// two loops (workers finish jobs without taking s.mu) cannot reroute
+	// a spec onto the queue path and block the send while s.mu is held.
+	// Adopting a twin that has since gone terminal is fine: adopt
+	// observes the closed Done channel and falls back through the cache
+	// or a non-blocking re-enqueue. Every queue send in this server
+	// happens under s.mu, so the free-slot count cannot shrink
+	// underneath the admission loop; workers only ever free slots.
+	const (
+		dispHit = iota
+		dispQueue
+		dispAdoptTwin  // adopt the *Job in twins[i]
+		dispAdoptBatch // adopt this batch's queue-bound job at index batchTwin[i]
+	)
+	disp := make([]int, len(specs))
+	twins := make([]*Job, len(specs))
+	batchTwin := make([]int, len(specs))
+	queueFirst := map[string]int{} // key -> index of this batch's queue-bound spec
+	need := 0
+	for i := range specs {
+		if hits[i] != nil {
+			disp[i] = dispHit
+			continue
+		}
+		if first, ok := queueFirst[keys[i]]; ok {
+			disp[i] = dispAdoptBatch
+			batchTwin[i] = first
+			continue
+		}
+		if twin, ok := s.inflight[keys[i]]; ok && !twin.View().State.Terminal() {
+			disp[i] = dispAdoptTwin
+			twins[i] = twin
+			continue
+		}
+		disp[i] = dispQueue
+		queueFirst[keys[i]] = i
+		need++
 	}
-	j.submitted = time.Now()
-	if hit != nil {
-		j.complete(*hit, true)
-		s.insertLocked(j)
-		return j, nil
+	if free := cap(s.queue) - len(s.queue); need > free {
+		if len(specs) == 1 {
+			return nil, errQueueFull
+		}
+		return nil, fmt.Errorf("%w: batch needs %d queue slots, %d free", errQueueFull, need, free)
 	}
-	// Coalesce onto an identical queued/running job instead of
-	// simulating the same spec twice concurrently.
-	if twin, ok := s.inflight[key]; ok && !twin.View().State.Terminal() {
-		s.insertLocked(j)
-		go s.adopt(j, twin)
-		return j, nil
+
+	jobs := make([]*Job, len(specs))
+	for i, spec := range specs {
+		s.seq++
+		ctx, cancel := context.WithCancel(s.baseCtx)
+		j := &Job{
+			id:     fmt.Sprintf("j%06d", s.seq),
+			spec:   spec,
+			key:    keys[i],
+			ctx:    ctx,
+			cancel: cancel,
+			state:  StateQueued,
+			done:   make(chan struct{}),
+		}
+		j.submitted = time.Now()
+		jobs[i] = j
+		switch disp[i] {
+		case dispHit:
+			j.complete(*hits[i], true)
+			s.insertLocked(j)
+		case dispAdoptTwin:
+			s.insertLocked(j)
+			go s.adopt(j, twins[i])
+		case dispAdoptBatch:
+			s.insertLocked(j)
+			go s.adopt(j, jobs[batchTwin[i]])
+		default: // dispQueue
+			s.queue <- j // cannot block: admission reserved exactly these slots
+			s.inflight[keys[i]] = j
+			s.insertLocked(j)
+		}
 	}
-	select {
-	case s.queue <- j:
-		s.inflight[key] = j
-		s.insertLocked(j)
-		return j, nil
-	default:
-		cancel()
-		return nil, errQueueFull
-	}
+	return jobs, nil
 }
 
 // adopt parks a duplicate job on its in-flight twin: when the twin
@@ -340,7 +471,7 @@ func (s *Server) adopt(j, twin *Job) {
 		case s.queue <- j:
 			s.inflight[j.key] = j // the duplicate is the new representative
 		default:
-			j.fail(errQueueFull.Error())
+			j.failCode(errQueueFull.Error(), codeQueueFull)
 		}
 		s.mu.Unlock()
 		return
@@ -388,6 +519,15 @@ type Stats struct {
 	QueueCap    int           `json:"queueCap"`
 	Jobs        map[State]int `json:"jobs"`
 	Cache       CacheStats    `json:"cache"`
+	// Inflight is the number of simulations executing right now;
+	// InflightPeak is its high-water mark since startup — proof (or
+	// refutation) that batch clients actually fill the worker pool.
+	Inflight     int `json:"inflight"`
+	InflightPeak int `json:"inflightPeak"`
+	// Batches / BatchSpecs count POST /v1/batch submissions and the
+	// specs they carried.
+	Batches    uint64 `json:"batches"`
+	BatchSpecs uint64 `json:"batchSpecs"`
 }
 
 // Snapshot gathers current serving statistics.
@@ -400,11 +540,15 @@ func (s *Server) Snapshot() Stats {
 	queued := len(s.queue)
 	s.mu.Unlock()
 	return Stats{
-		Experiments: len(s.names),
-		Workers:     s.cfg.Workers,
-		QueueDepth:  queued,
-		QueueCap:    s.cfg.QueueDepth,
-		Jobs:        jobs,
-		Cache:       s.cache.Stats(),
+		Experiments:  len(s.names),
+		Workers:      s.cfg.Workers,
+		QueueDepth:   queued,
+		QueueCap:     s.cfg.QueueDepth,
+		Jobs:         jobs,
+		Cache:        s.cache.Stats(),
+		Inflight:     int(s.running.Load()),
+		InflightPeak: int(s.runningPeak.Load()),
+		Batches:      s.batches.Load(),
+		BatchSpecs:   s.batchSpecs.Load(),
 	}
 }

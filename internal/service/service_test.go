@@ -21,6 +21,7 @@ type fakeRunner struct {
 	name    string
 	release chan struct{} // nil: return immediately
 	started chan struct{} // closed when Run first begins
+	delay   time.Duration // simulated work before returning
 	once    sync.Once
 	runs    atomic.Int32
 }
@@ -38,14 +39,23 @@ func newBlockingFake(name string) *fakeRunner {
 func (f *fakeRunner) Name() string     { return f.name }
 func (f *fakeRunner) Describe() string { return "fake experiment " + f.name }
 
-func (f *fakeRunner) Run(ctx context.Context, o hmcsim.Options) hmcsim.Result {
+func (f *fakeRunner) Run(ctx context.Context, o hmcsim.Options) (hmcsim.Result, error) {
 	f.runs.Add(1)
 	f.once.Do(func() { close(f.started) })
+	if f.delay > 0 {
+		select {
+		case <-time.After(f.delay):
+		case <-ctx.Done():
+		}
+	}
 	if f.release != nil {
 		select {
 		case <-f.release:
 		case <-ctx.Done():
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return hmcsim.Result{}, err
 	}
 	return hmcsim.Result{
 		Name:    f.name,
@@ -56,7 +66,7 @@ func (f *fakeRunner) Run(ctx context.Context, o hmcsim.Options) hmcsim.Result {
 			Points: []hmcsim.Point{{X: 1, Y: float64(o.Seed)}},
 		}},
 		Text: "text for " + f.name,
-	}
+	}, nil
 }
 
 // newTestServer builds a server plus an httptest frontend over it.

@@ -1,0 +1,52 @@
+package hmcsim
+
+import "context"
+
+// SpecRunner executes a Spec somewhere other than this process —
+// typically on one or more hmcsimd daemons — and returns the structured
+// result. internal/service.Fleet implements it over the HTTP JSON API,
+// sharding submissions across daemons and failing work over when one
+// becomes unreachable.
+type SpecRunner interface {
+	RunSpec(ctx context.Context, spec Spec) (Result, error)
+}
+
+// RemoteRunner adapts an experiment served by a SpecRunner to the
+// Runner interface, so Sweep-shaped programs can farm points out to a
+// daemon fleet exactly as they would run them locally:
+//
+//	fleet := service.NewFleet("http://a:8080,http://b:8080")
+//	fig6 := hmcsim.RemoteRunner{Exp: "fig6", On: fleet}
+//	results := hmcsim.Sweep(ctx, 0, len(seeds), func(i int) hmcsim.Result {
+//	    res, _ := fig6.Run(ctx, hmcsim.Options{Seed: seeds[i]})
+//	    return res
+//	})
+//
+// Because daemon workers run single-threaded engines and results are
+// cached content-addressed, remote points are bit-identical to local
+// ones and repeated points are free.
+type RemoteRunner struct {
+	// Exp is the experiment's registered name on the serving daemons.
+	Exp string
+	// Title, when set, overrides Describe's default.
+	Title string
+	// On executes the submitted specs.
+	On SpecRunner
+}
+
+// Name returns the remote experiment's registered name.
+func (r RemoteRunner) Name() string { return r.Exp }
+
+// Describe returns the runner's headline.
+func (r RemoteRunner) Describe() string {
+	if r.Title != "" {
+		return r.Title
+	}
+	return "remote experiment " + r.Exp
+}
+
+// Run submits the experiment with the given options and waits for its
+// result.
+func (r RemoteRunner) Run(ctx context.Context, o Options) (Result, error) {
+	return r.On.RunSpec(ctx, Spec{Exp: r.Exp, Options: o})
+}

@@ -75,13 +75,15 @@ func (s Series) Lookup(label string, x float64) (float64, bool) {
 }
 
 // Runner is a named, self-describing experiment. The paper's tables and
-// figures implement it via the registry in internal/exp.
+// figures implement it via the registry in internal/exp; RemoteRunner
+// adapts experiments served by a daemon fleet.
 //
 // Run observes ctx between sweep points: cancelling it makes the runner
-// return early with a partial (and therefore meaningless) Result, which
-// the caller must discard after checking ctx.Err().
+// stop scheduling work and return ctx's error instead of the partial
+// (and therefore meaningless) Result it swept so far. A non-nil error
+// means the Result must be discarded.
 type Runner interface {
 	Name() string
 	Describe() string
-	Run(ctx context.Context, o Options) Result
+	Run(ctx context.Context, o Options) (Result, error)
 }
