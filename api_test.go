@@ -159,7 +159,7 @@ func TestBackendsComparable(t *testing.T) {
 		if b.Name() == "" {
 			t.Error("unnamed backend")
 		}
-		if lat := b.IdleLatencyNs(o, 64); lat <= 0 {
+		if lat := b.IdleLatencyNs(context.Background(), o, 64); lat <= 0 {
 			t.Errorf("%s: idle latency %v", b.Name(), lat)
 		}
 	}

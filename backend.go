@@ -1,6 +1,8 @@
 package hmcsim
 
 import (
+	"context"
+
 	"hmcsim/internal/core"
 	"hmcsim/internal/ddr"
 	"hmcsim/internal/sim"
@@ -13,11 +15,12 @@ import (
 type Backend interface {
 	Name() string
 	// IdleLatencyNs measures one isolated read of size bytes, in
-	// nanoseconds of device latency.
-	IdleLatencyNs(o Options, size int) float64
+	// nanoseconds of device latency. ctx carries cancellation and
+	// progress wiring (WithProgress), like every runner entry point.
+	IdleLatencyNs(ctx context.Context, o Options, size int) float64
 	// RandomReadGBps measures data bandwidth (payload bytes per second,
 	// in GB/s) under saturating random reads of size bytes.
-	RandomReadGBps(o Options, size int) float64
+	RandomReadGBps(ctx context.Context, o Options, size int) float64
 }
 
 // ComparisonBackends returns the devices of the paper's comparison, the
@@ -33,8 +36,8 @@ func (HMCDevice) Name() string { return "HMC 1.1 (device)" }
 // IdleLatencyNs plays a single read and subtracts the fixed FPGA
 // pipeline, exactly how the paper isolates the 100-180 ns HMC
 // contribution from the 547 ns infrastructure floor.
-func (HMCDevice) IdleLatencyNs(o Options, size int) float64 {
-	sys := o.NewSystem()
+func (HMCDevice) IdleLatencyNs(ctx context.Context, o Options, size int) float64 {
+	sys := o.NewSystemCtx(ctx)
 	trace := sys.RandomTrace(1, size, sys.SingleVault(0), 1)
 	ports := sys.PlayStreams([][]Request{trace})
 	floor := sys.Cfg.Host.TxLatency + sys.Cfg.Host.RxLatency
@@ -43,8 +46,8 @@ func (HMCDevice) IdleLatencyNs(o Options, size int) float64 {
 
 // RandomReadGBps saturates the cube with nine GUPS ports of random
 // reads and counts payload bytes through the host infrastructure.
-func (HMCDevice) RandomReadGBps(o Options, size int) float64 {
-	sys := o.NewSystem()
+func (HMCDevice) RandomReadGBps(ctx context.Context, o Options, size int) float64 {
+	sys := o.NewSystemCtx(ctx)
 	r := sys.RunGUPS(core.GUPSSpec{
 		Ports: 9, Size: size, Pattern: core.AllVaults(),
 		Warmup: o.Warmup(), Window: o.Window(),
@@ -68,8 +71,9 @@ type DDRChannel struct{}
 func (DDRChannel) Name() string { return "DDR3-1600 channel" }
 
 // IdleLatencyNs issues one isolated read against an idle channel.
-func (DDRChannel) IdleLatencyNs(o Options, size int) float64 {
+func (DDRChannel) IdleLatencyNs(ctx context.Context, o Options, size int) float64 {
 	eng := sim.NewEngine()
+	attachCheckpoint(ctx, eng)
 	c := ddr.New(eng, ddr.DefaultConfig())
 	var out float64
 	eng.Schedule(0, func() {
@@ -83,8 +87,9 @@ func (DDRChannel) IdleLatencyNs(o Options, size int) float64 {
 
 // RandomReadGBps drives back-to-back random reads until a fixed request
 // count drains, then divides payload bytes by elapsed simulated time.
-func (DDRChannel) RandomReadGBps(o Options, size int) float64 {
+func (DDRChannel) RandomReadGBps(ctx context.Context, o Options, size int) float64 {
 	eng := sim.NewEngine()
+	attachCheckpoint(ctx, eng)
 	c := ddr.New(eng, ddr.DefaultConfig())
 	rng := sim.NewRand(o.Seed + 9)
 	completed := 0

@@ -15,8 +15,13 @@
 // Usage:
 //
 //	hmcsim [-exp name[,name...]|all] [-quick] [-seed N] [-workers N]
-//	       [-format text|json] [-traffic spec] [-list]
+//	       [-format text|json] [-traffic spec] [-trace] [-list]
 //	       [-server URL[,URL...]] [-cpuprofile file] [-memprofile file]
+//
+// -trace (local runs only) compiles per-component tracers into every
+// simulated system and dumps their aggregate summary — vault queue
+// occupancy, link utilization, NoC hops, host tag-pool pressure —
+// after the results (text) or as a "trace" field wrapping them (json).
 package main
 
 import (
@@ -52,6 +57,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "sweep fan-out; 0 = NumCPU, 1 = sequential (results are identical either way)")
 	format := fs.String("format", "text", "output format: text or json")
 	trafficSpec := fs.String("traffic", "", "synthetic traffic spec for the \"traffic\" experiment: a pattern name or a JSON TrafficSpec")
+	trace := fs.Bool("trace", false, "collect and dump per-component tracer summaries (local runs only)")
 	list := fs.Bool("list", false, "list registered experiments and exit")
 	server := fs.String("server", "", "comma-separated hmcsimd base URL(s); run remotely instead of simulating locally")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -138,12 +144,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		if *workers != 0 {
 			fmt.Fprintln(stderr, "hmcsim: -workers is local-only; the daemon runs each job on one single-threaded engine")
 		}
+		if *trace {
+			// Tracers change what the simulation records, not what it
+			// computes, but they are not part of the spec — a daemon job
+			// would silently ignore the flag, so reject it instead.
+			fmt.Fprintln(stderr, "hmcsim: -trace is local-only; daemons expose aggregate metrics at /metrics instead")
+			return 2
+		}
 		return runRemote(ctx, fleet, names, o, *format, stdout, stderr)
 	}
 	if names == nil {
 		names = exp.Names()
 	}
-	return runLocal(ctx, names, o, *format, stdout, stderr)
+	return runLocal(ctx, names, o, *format, *trace, stdout, stderr)
 }
 
 // parseTraffic turns the -traffic flag into a validated spec. The flag
@@ -192,7 +205,10 @@ func runList(ctx context.Context, fleet *service.Fleet, stdout, stderr io.Writer
 }
 
 // runLocal simulates in this process, exactly the pre-daemon behavior.
-func runLocal(ctx context.Context, names []string, o exp.Options, format string, stdout, stderr io.Writer) int {
+// With trace set, every system the experiments build carries
+// per-component tracers, and their aggregate summary prints after the
+// results (text) or wraps them as a "trace" field (json).
+func runLocal(ctx context.Context, names []string, o exp.Options, format string, trace bool, stdout, stderr io.Writer) int {
 	// Resolve every name before running anything: a typo late in the
 	// list must fail fast, not discard minutes of completed sweeps.
 	for _, name := range names {
@@ -200,6 +216,10 @@ func runLocal(ctx context.Context, names []string, o exp.Options, format string,
 			fmt.Fprintln(stderr, "hmcsim:", err)
 			return 2
 		}
+	}
+	var col *hmcsim.TraceCollector
+	if trace {
+		ctx, col = hmcsim.WithTrace(ctx)
 	}
 	var results []hmcsim.Result
 	for _, name := range names {
@@ -221,9 +241,22 @@ func runLocal(ctx context.Context, names []string, o exp.Options, format string,
 		}
 	}
 	if format == "json" {
+		if col != nil {
+			return emitJSON(stdout, stderr, tracedResults{Results: results, Trace: col})
+		}
 		return emitJSON(stdout, stderr, results)
 	}
+	if col != nil {
+		fmt.Fprintln(stdout, col)
+	}
 	return 0
+}
+
+// tracedResults is the -format json envelope when -trace is on: the
+// plain results array becomes {"results": [...], "trace": {...}}.
+type tracedResults struct {
+	Results []hmcsim.Result        `json:"results"`
+	Trace   *hmcsim.TraceCollector `json:"trace"`
 }
 
 // runRemote submits one spec per experiment to the daemon fleet in a
@@ -265,6 +298,19 @@ func runRemote(ctx context.Context, fleet *service.Fleet, names []string, o exp.
 		// a long fleet run from sitting silent for minutes.
 		fleet.OnDone = func(spec hmcsim.Spec, v service.JobView) {
 			fmt.Fprintf(stderr, "hmcsim: %s %s\n", spec.Exp, jobOutcome(v))
+		}
+		// Between completions, stream each running job's live headway
+		// (SSE from the daemon), rate-limited so a chatty fleet does not
+		// flood the terminal. OnProgress calls are serialized, so the
+		// timestamp needs no lock.
+		var lastLine time.Time
+		fleet.OnProgress = func(spec hmcsim.Spec, p service.JobProgress) {
+			if p.State.Terminal() || time.Since(lastLine) < 500*time.Millisecond {
+				return // OnDone reports terminal outcomes
+			}
+			lastLine = time.Now()
+			fmt.Fprintf(stderr, "hmcsim: %s running: %d/%d points, %.0f us simulated\n",
+				spec.Exp, p.Done, p.Total, float64(p.SimTimePs)/1e6)
 		}
 	}
 	views, err := fleet.Run(ctx, specs)
@@ -316,7 +362,7 @@ func jobOutcome(v service.JobView) string {
 	return fmt.Sprintf("%s in %v", how, elapsed.Round(time.Millisecond))
 }
 
-func emitJSON[T any](stdout, stderr io.Writer, results []T) int {
+func emitJSON[T any](stdout, stderr io.Writer, results T) int {
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(results); err != nil {

@@ -14,11 +14,18 @@
 //	POST   /v1/batch       submit a JSON array of specs; admission is
 //	                       all-or-nothing against the queue bound
 //	GET    /v1/jobs/{id}   status; includes result and text when done
+//	GET    /v1/jobs/{id}/progress
+//	                       live progress as Server-Sent Events: sweep
+//	                       points done/total and simulation headway,
+//	                       ending with the terminal event
 //	DELETE /v1/jobs/{id}   cancel a queued or running job
 //	GET    /v1/experiments registry listing
-//	GET    /v1/stats       queue, worker, job, cache, batch and
-//	                       inflight statistics
+//	GET    /v1/stats       queue, worker, job, cache, batch, inflight,
+//	                       uptime, version and per-worker statistics
 //	GET    /v1/healthz     liveness probe
+//	GET    /metrics        Prometheus text exposition of the same
+//	                       counters, plus per-worker busy time and
+//	                       aggregate simulation headway
 //	GET    /debug/pprof/   runtime profiles (CPU, heap, ...; requires -pprof)
 //
 // With -pprof the endpoints profile the daemon under live load:

@@ -37,6 +37,7 @@
 package hmcsim
 
 import (
+	"context"
 	"fmt"
 
 	"hmcsim/internal/core"
@@ -112,6 +113,59 @@ func (o Options) NewSystem() *System {
 		cfg.Seed = o.Seed
 	}
 	return NewSystem(cfg)
+}
+
+// checkpointEvery is how many retired events pass between engine
+// checkpoints in systems built by NewSystemCtx. Large enough that the
+// countdown branch is noise in the event loop, small enough that
+// cancellation lands within a few hundred microseconds of wall clock.
+const checkpointEvery = 8192
+
+// NewSystemCtx builds a system like NewSystem but wired to ctx:
+//
+//   - If ctx can be cancelled, the engine checks it at periodic
+//     checkpoints in its event loop, so Run and Drain return early
+//     (mid-simulation, deterministically up to that point) once the
+//     context is done.
+//   - If ctx carries a WithProgress sink, the same checkpoints report
+//     simulation headway (events retired, simulated time advanced).
+//   - If ctx carries a WithTrace collector, the system is assembled
+//     with per-component tracers feeding that collector.
+//
+// A background context with no sink and no collector yields a system
+// identical to NewSystem, with zero checkpoint overhead.
+func (o Options) NewSystemCtx(ctx context.Context) *System {
+	cfg := DefaultConfig()
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+	if tc := collectorFrom(ctx); tc != nil {
+		cfg.Trace = tc.col.NewSystem()
+	}
+	sys := NewSystem(cfg)
+	attachCheckpoint(ctx, sys.Eng)
+	return sys
+}
+
+// attachCheckpoint wires an engine's event-loop checkpoint to ctx: the
+// engine stops early once ctx is done, and reports simulation headway
+// to the ctx progress sink if one is attached. A background context
+// with no sink leaves the engine checkpoint-free.
+func attachCheckpoint(ctx context.Context, eng *sim.Engine) {
+	sink := sinkFrom(ctx)
+	if sink == nil && ctx.Done() == nil {
+		return
+	}
+	var lastEvents uint64
+	var lastNow Time
+	eng.SetCheckpoint(checkpointEvery, func() bool {
+		if sink != nil {
+			ev, now := eng.Fired(), eng.Now()
+			sink.engineTick(ev-lastEvents, int64(now-lastNow))
+			lastEvents, lastNow = ev, now
+		}
+		return ctx.Err() == nil
+	})
 }
 
 // Warmup returns the traffic time before counters reset.

@@ -28,6 +28,7 @@ import (
 	"hmcsim/internal/addr"
 	"hmcsim/internal/hmc"
 	"hmcsim/internal/host"
+	"hmcsim/internal/obs"
 	"hmcsim/internal/packet"
 	"hmcsim/internal/phys"
 	"hmcsim/internal/sim"
@@ -39,6 +40,11 @@ type Config struct {
 	HMC       hmc.Config
 	BlockSize int    // address-interleave block size (Figure 3); 128 default
 	Seed      uint64 // base RNG seed for all ports
+
+	// Trace, when non-nil, threads per-component tracers through the
+	// cube and host as the system is assembled. Nil keeps every kernel
+	// hot path on its untraced fast path.
+	Trace *obs.SystemTracer
 }
 
 // DefaultConfig returns the AC-510 + 4 GB HMC 1.1 system of the paper.
@@ -67,6 +73,11 @@ type System struct {
 // NewSystem builds a system from cfg.
 func NewSystem(cfg Config) *System {
 	eng := sim.NewEngine()
+	if cfg.Trace != nil {
+		cfg.Trace.SetClock(func() int64 { return int64(eng.Now()) })
+		cfg.HMC.Trace = cfg.Trace
+		cfg.Host.Trace = &cfg.Trace.Host
+	}
 	s := &System{Cfg: cfg, Eng: eng, Map: addr.MustMapping(cfg.BlockSize)}
 	var ctrl *host.Controller
 	s.HMC = hmc.New(eng, cfg.HMC, func(p *packet.Packet) { ctrl.OnResponse(p) })

@@ -43,8 +43,8 @@ func DDRComparison(ctx context.Context, o Options) DDRComparisonResult {
 		b := backends[i]
 		return BackendPoint{
 			Backend:    b.Name(),
-			IdleLatNs:  b.IdleLatencyNs(o, 64),
-			RandomGBps: b.RandomReadGBps(o, 64),
+			IdleLatNs:  b.IdleLatencyNs(ctx, o, 64),
+			RandomGBps: b.RandomReadGBps(ctx, o, 64),
 		}
 	})
 	res := DDRComparisonResult{Backends: rows}

@@ -59,7 +59,7 @@ func Fig10(ctx context.Context, o Options) VaultComboResult {
 	perSize := hmcsim.Sweep(ctx, o.Workers, len(Sizes), func(si int) sizeRun {
 		size := Sizes[si]
 		run := sizeRun{perVault: make([][]float64, addr.Vaults)}
-		sys := o.NewSystem()
+		sys := o.NewSystemCtx(ctx)
 		for ci := 0; ci < len(combos); ci += stride {
 			combo := combos[ci]
 			// Every port spreads its reads over the whole four-vault

@@ -31,7 +31,7 @@ type Fig6Result struct {
 // system, so the sweep fans out across workers.
 func Fig6(ctx context.Context, o Options) Fig6Result {
 	points := hmcsim.Sweep2(ctx, o.Workers, Sizes, Patterns, func(size int, ps PatternSpec) Fig6Point {
-		sys := o.NewSystem()
+		sys := o.NewSystemCtx(ctx)
 		r := sys.RunGUPS(core.GUPSSpec{
 			Ports:   9,
 			Size:    size,

@@ -64,7 +64,7 @@ func lowLoad(ctx context.Context, o Options, figure string, ns []int) LowLoadRes
 	// software does. Sizes are independent systems, so they fan out.
 	perSize := hmcsim.Sweep(ctx, o.Workers, len(Sizes), func(si int) []LowLoadPoint {
 		size := Sizes[si]
-		sys := o.NewSystem()
+		sys := o.NewSystemCtx(ctx)
 		points := make([]LowLoadPoint, 0, len(ns))
 		for _, n := range ns {
 			var agg, max float64

@@ -17,8 +17,8 @@ type trafficPoint struct {
 }
 
 // runTraffic measures one traffic workload on a fresh system.
-func runTraffic(o Options, spec hmcsim.TrafficSpec, label string, x float64) trafficPoint {
-	sys := o.NewSystem()
+func runTraffic(ctx context.Context, o Options, spec hmcsim.TrafficSpec, label string, x float64) trafficPoint {
+	sys := o.NewSystemCtx(ctx)
 	m := hmcsim.TrafficWorkload{
 		Traffic: spec,
 		Ports:   9,
@@ -63,7 +63,7 @@ var TrafficZipfThetas = []float64{0.01, 0.5, 0.9, 1.2, 1.5, 1.8}
 func TrafficZipf(ctx context.Context, o Options) hmcsim.Result {
 	points := hmcsim.Sweep(ctx, o.Workers, len(TrafficZipfThetas), func(i int) trafficPoint {
 		theta := TrafficZipfThetas[i]
-		return runTraffic(o, hmcsim.TrafficSpec{Pattern: hmcsim.TrafficZipf, ZipfTheta: theta},
+		return runTraffic(ctx, o, hmcsim.TrafficSpec{Pattern: hmcsim.TrafficZipf, ZipfTheta: theta},
 			fmt.Sprintf("zipf %.2f", theta), theta)
 	})
 	return trafficResult("Synthetic traffic: read latency and bandwidth vs zipf skew", "Theta", points)
@@ -78,7 +78,7 @@ var TrafficMixFractions = []float64{0, 0.25, 0.5, 0.75, 1}
 func TrafficMix(ctx context.Context, o Options) hmcsim.Result {
 	points := hmcsim.Sweep(ctx, o.Workers, len(TrafficMixFractions), func(i int) trafficPoint {
 		frac := TrafficMixFractions[i]
-		return runTraffic(o, hmcsim.TrafficSpec{
+		return runTraffic(ctx, o, hmcsim.TrafficSpec{
 			Pattern:       hmcsim.TrafficUniform,
 			WriteFraction: frac,
 			MixRunLength:  8,
@@ -101,12 +101,12 @@ func TrafficBurst(ctx context.Context, o Options) hmcsim.Result {
 		func(rate float64, burst bool) trafficPoint {
 			offered := 9 * rate // aggregate across the nine ports
 			if !burst {
-				return runTraffic(o, hmcsim.TrafficSpec{
+				return runTraffic(ctx, o, hmcsim.TrafficSpec{
 					Discipline: hmcsim.TrafficOpenLoop,
 					RateGBps:   rate,
 				}, "steady", offered)
 			}
-			return runTraffic(o, hmcsim.TrafficSpec{
+			return runTraffic(ctx, o, hmcsim.TrafficSpec{
 				Discipline: hmcsim.TrafficOpenLoop,
 				Phases: []hmcsim.TrafficPhase{
 					{DurationUs: 10, RateGBps: 2 * rate},
@@ -131,7 +131,7 @@ func Traffic(ctx context.Context, o Options) hmcsim.Result {
 	if o.Traffic != nil {
 		spec = *o.Traffic
 	}
-	p := runTraffic(o, spec, spec.Name(), 0)
+	p := runTraffic(ctx, o, spec, spec.Name(), 0)
 	title := fmt.Sprintf("Synthetic traffic: %s, 9 ports x 128 B", spec.Name())
 	return trafficResult(title, "X", []trafficPoint{p})
 }

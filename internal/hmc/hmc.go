@@ -10,6 +10,7 @@ import (
 	"hmcsim/internal/addr"
 	"hmcsim/internal/link"
 	"hmcsim/internal/noc"
+	"hmcsim/internal/obs"
 	"hmcsim/internal/packet"
 	"hmcsim/internal/sim"
 	"hmcsim/internal/vault"
@@ -33,6 +34,11 @@ type Config struct {
 
 	NoC   noc.Config
 	Vault vault.Config // template; ID is overwritten per vault
+
+	// Trace, when non-nil, hands each vault, link direction and the
+	// fabric a tracer from this system-level aggregate. Nil (the
+	// default) builds an untraced cube.
+	Trace *obs.SystemTracer
 }
 
 // DefaultConfig returns the 4 GB HMC 1.1 Gen2 configuration on an
@@ -89,6 +95,10 @@ func New(eng *sim.Engine, cfg Config, deliverResp func(*packet.Packet)) *HMC {
 		respCfg := cfg.LinkCfg
 		respCfg.RxBufFlits = cfg.RespRxBufFlits
 		respCfg.Seed = cfg.LinkCfg.Seed + uint64(l)*16 + 2
+		if cfg.Trace != nil {
+			reqCfg.Trace = cfg.Trace.Link(fmt.Sprintf("link%d.req", l))
+			respCfg.Trace = cfg.Trace.Link(fmt.Sprintf("link%d.resp", l))
+		}
 		h.links[l] = &link.Link{
 			ID:   l,
 			Req:  link.NewDir(eng, fmt.Sprintf("link%d.req", l), reqCfg, func(p *packet.Packet) { h.receiveRequest(l, p) }),
@@ -105,6 +115,9 @@ func New(eng *sim.Engine, cfg Config, deliverResp func(*packet.Packet)) *HMC {
 		v := v
 		vcfg := cfg.Vault
 		vcfg.ID = v
+		if cfg.Trace != nil {
+			vcfg.Trace = cfg.Trace.Vault(v)
+		}
 		quad := v / addr.VaultsPerQuad
 		vlt := vault.New(eng, vcfg, &respAdapter{h: h, quad: quad})
 		h.vaults[v] = vlt
@@ -140,7 +153,11 @@ func New(eng *sim.Engine, cfg Config, deliverResp func(*packet.Packet)) *HMC {
 		}
 	}
 
-	h.fabric = noc.NewFabric(eng, cfg.NoC, addr.Quadrants, addr.VaultsPerQuad,
+	nocCfg := cfg.NoC
+	if cfg.Trace != nil {
+		nocCfg.Trace = &cfg.Trace.NoC
+	}
+	h.fabric = noc.NewFabric(eng, nocCfg, addr.Quadrants, addr.VaultsPerQuad,
 		cfg.LinkHome, vaultOutlets, linkEgress)
 
 	// Returning cube-side link tokens once a request leaves the ingress

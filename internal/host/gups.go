@@ -71,7 +71,7 @@ func NewGUPSPort(eng *sim.Engine, hostCfg Config, ctrl *Controller, mapp *addr.M
 		cfg:   cfg,
 		mapp:  mapp,
 		rng:   sim.NewRand(cfg.Seed + uint64(id)*0x9E3779B9 + 1),
-		tags:  newTagPool(id, tags),
+		tags:  newTagPool(id, tags, hostCfg.Trace),
 	}
 	p.tickT = eng.NewTimer(p.tick)
 	p.unblockFn = func() {

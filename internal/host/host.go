@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"hmcsim/internal/link"
+	"hmcsim/internal/obs"
 	"hmcsim/internal/packet"
 	"hmcsim/internal/sim"
 )
@@ -57,6 +58,11 @@ type Config struct {
 	// word per cycle is what makes large responses pile up in Figures 7
 	// and 8.
 	StreamChanBytesPerCycle int
+
+	// Trace, when non-nil, observes the port tag pools (outstanding
+	// counts, empty-pool stalls) across every port built from this
+	// config. Nil keeps the issue-path hooks single branches.
+	Trace *obs.HostTracer
 }
 
 // DefaultConfig returns the AC-510 host calibration.
@@ -260,10 +266,11 @@ type tagPool struct {
 	free    []uint16
 	waiters sim.Waiters
 	size    int
+	trace   *obs.HostTracer
 }
 
-func newTagPool(port, n int) *tagPool {
-	p := &tagPool{size: n}
+func newTagPool(port, n int, trace *obs.HostTracer) *tagPool {
+	p := &tagPool{size: n, trace: trace}
 	for i := n - 1; i >= 0; i-- {
 		p.free = append(p.free, uint16((port*n+i)%2048))
 	}
@@ -272,10 +279,12 @@ func newTagPool(port, n int) *tagPool {
 
 func (p *tagPool) take() (uint16, bool) {
 	if len(p.free) == 0 {
+		p.trace.OnTagWait()
 		return 0, false
 	}
 	t := p.free[len(p.free)-1]
 	p.free = p.free[:len(p.free)-1]
+	p.trace.OnTagTake(p.size - len(p.free))
 	return t, true
 }
 

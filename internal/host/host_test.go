@@ -306,7 +306,7 @@ func TestMonitorReset(t *testing.T) {
 }
 
 func TestTagPoolRoundTrip(t *testing.T) {
-	p := newTagPool(3, 16)
+	p := newTagPool(3, 16, nil)
 	seen := map[uint16]bool{}
 	for i := 0; i < 16; i++ {
 		tag, ok := p.take()

@@ -58,7 +58,7 @@ func NewStreamPort(eng *sim.Engine, hostCfg Config, ctrl *Controller, mapp *addr
 		clock:   hostCfg.Clock(),
 		cfg:     hostCfg,
 		mapp:    mapp,
-		tags:    newTagPool(id, hostCfg.StreamTagsPerPort),
+		tags:    newTagPool(id, hostCfg.StreamTagsPerPort, hostCfg.Trace),
 		channel: sim.NewServer(eng),
 	}
 	p.chanFn = p.chanDone

@@ -80,7 +80,7 @@ func NewTrafficPort(eng *sim.Engine, hostCfg Config, ctrl *Controller, mapp *add
 		size:   cfg.Size,
 		gen:    cfg.Gen,
 		mapp:   mapp,
-		tags:   newTagPool(id, tags),
+		tags:   newTagPool(id, tags, hostCfg.Trace),
 		closed: cfg.Gen.Closed(),
 		phases: cfg.Gen.Phases(),
 		sizeFP: int64(cfg.Size) << 16,

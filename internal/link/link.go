@@ -11,6 +11,7 @@ package link
 import (
 	"fmt"
 
+	"hmcsim/internal/obs"
 	"hmcsim/internal/packet"
 	"hmcsim/internal/phys"
 	"hmcsim/internal/sim"
@@ -25,6 +26,11 @@ type Config struct {
 	ErrorRate    float64       // per-packet corruption probability
 	RetryLatency sim.Time      // IRTRY round trip before retransmission
 	Seed         uint64        // RNG seed for error injection
+
+	// Trace, when non-nil, observes transmissions, retries and
+	// serializer busy time for this direction. Nil keeps the egress hook
+	// a single predictable branch.
+	Trace *obs.LinkTracer
 }
 
 // DefaultConfig returns the AC-510 link configuration: half-width,
@@ -76,6 +82,7 @@ type Dir struct {
 	packets uint64
 	flits   uint64
 	retries uint64
+	trace   *obs.LinkTracer
 }
 
 // NewDir builds one link direction. deliver is invoked on the receiving
@@ -99,6 +106,7 @@ func NewDir(eng *sim.Engine, name string, cfg Config, deliver func(*packet.Packe
 		tokens:   sim.NewTokenPool(cfg.RxBufFlits),
 		rng:      sim.NewRand(cfg.Seed),
 		deliver:  deliver,
+		trace:    cfg.Trace,
 	}
 	d.serFn = d.serDone
 	d.wireFn = d.wireDone
@@ -134,6 +142,7 @@ func (d *Dir) transmit(p *packet.Packet) {
 // packet that just finished.
 func (d *Dir) serDone() {
 	p := d.serq.Pop()
+	flits := p.Flits()
 	if d.cfg.ErrorRate > 0 && d.rng.Float64() < d.cfg.ErrorRate {
 		// The receiver's CRC check fails; after the IRTRY exchange the
 		// packet is retransmitted from the retry buffer. Tokens remain
@@ -141,11 +150,13 @@ func (d *Dir) serDone() {
 		// closure is the one allocation on this path; it only exists on
 		// lossy-link configurations.
 		d.retries++
+		d.trace.OnRetry(int64(d.flitTime) * int64(flits))
 		d.eng.Schedule(d.cfg.RetryLatency, func() { d.transmit(p) })
 		return
 	}
 	d.packets++
-	d.flits += uint64(p.Flits())
+	d.flits += uint64(flits)
+	d.trace.OnTx(flits, int64(d.flitTime)*int64(flits))
 	d.wireq.Push(p)
 	d.eng.Schedule(d.cfg.WireLatency, d.wireFn)
 }

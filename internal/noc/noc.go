@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sync"
 
+	"hmcsim/internal/obs"
 	"hmcsim/internal/packet"
 	"hmcsim/internal/sim"
 )
@@ -85,6 +86,12 @@ type Config struct {
 	// disables admission control (used by externally flow-controlled
 	// ingress nodes).
 	InputBuffer int
+
+	// Trace, when non-nil, observes message hops and router occupancy.
+	// One tracer is shared by every router built from this config; the
+	// fabric runs on a single engine goroutine, so the shared counters
+	// need no locks. Nil keeps the admission hook a single branch.
+	Trace *obs.NoCTracer
 }
 
 // DefaultConfig returns the fabric parameters used by the reproduction.
@@ -204,6 +211,11 @@ func (r *Router) accept(m *Message) {
 	r.received++
 	i := r.routeIndex(m)
 	r.outlets[i].queue.Push(r.eng.Now(), m)
+	if r.cfg.Trace != nil {
+		// Guarded (not a nil-receiver hook) because the occupancy scan
+		// itself is work the untraced path must not pay.
+		r.cfg.Trace.OnHop(r.Queued())
+	}
 	r.pump(i)
 }
 

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestHistBucketing(t *testing.T) {
+	var h Hist
+	for _, v := range []int{0, 1, 2, 3, 4, 7, 8, 100, -5} {
+		h.Observe(v)
+	}
+	if h.Count != 9 {
+		t.Fatalf("count %d, want 9", h.Count)
+	}
+	if h.Max != 100 {
+		t.Fatalf("max %d, want 100", h.Max)
+	}
+	// Sum treats the negative observation as 0.
+	if h.Sum != 0+1+2+3+4+7+8+100 {
+		t.Fatalf("sum %d", h.Sum)
+	}
+	want := map[int]uint64{0: 2, 1: 1, 2: 2, 3: 2, 4: 1, 7: 1} // bucket index -> count
+	for i, n := range h.Buckets {
+		if n != want[i] {
+			t.Errorf("bucket %d (le %s): %d, want %d", i, BucketLabel(i), n, want[i])
+		}
+	}
+}
+
+func TestHistClampAndMerge(t *testing.T) {
+	var a, b Hist
+	a.Observe(1 << 40) // far beyond the last labeled bucket
+	b.Observe(3)
+	b.Observe(5)
+	a.Merge(&b)
+	if a.Count != 3 || a.Max != 1<<40 {
+		t.Fatalf("merged count=%d max=%d", a.Count, a.Max)
+	}
+	if a.Buckets[histBuckets-1] != 1 {
+		t.Fatalf("huge value not clamped into the last bucket: %v", a.Buckets)
+	}
+	s := a.Summarize()
+	if s.Buckets[len(s.Buckets)-1].Le != "+Inf" {
+		t.Fatalf("last occupied bucket label %q, want +Inf", s.Buckets[len(s.Buckets)-1].Le)
+	}
+}
+
+// TestNilTracersAreNoOps is the zero-cost-when-off contract: every hook
+// must be safe and allocation-free on a nil receiver, because components
+// call them unconditionally on possibly-nil pointers.
+func TestNilTracersAreNoOps(t *testing.T) {
+	var vt *VaultTracer
+	var lt *LinkTracer
+	var nt *NoCTracer
+	var ht *HostTracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		vt.OnAccept(3)
+		vt.OnReject()
+		lt.OnTx(9, 1234)
+		lt.OnRetry(1234)
+		nt.OnHop(2)
+		ht.OnTagTake(17)
+		ht.OnTagWait()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil tracer hooks allocated %.1f/op, want 0", allocs)
+	}
+}
+
+// TestEnabledTracersDoNotAllocate: the hooks stay allocation-free when
+// tracing is on, too — fixed-size histograms, no boxing.
+func TestEnabledTracersDoNotAllocate(t *testing.T) {
+	vt := &VaultTracer{}
+	lt := &LinkTracer{}
+	nt := &NoCTracer{}
+	ht := &HostTracer{}
+	allocs := testing.AllocsPerRun(1000, func() {
+		vt.OnAccept(3)
+		vt.OnReject()
+		lt.OnTx(9, 1234)
+		lt.OnRetry(1234)
+		nt.OnHop(2)
+		ht.OnTagTake(17)
+		ht.OnTagWait()
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled tracer hooks allocated %.1f/op, want 0", allocs)
+	}
+}
+
+func TestCollectorSummaryMerges(t *testing.T) {
+	var c Collector
+
+	s1 := c.NewSystem()
+	s1.SetClock(func() int64 { return 1000 })
+	s1.Vault(0).OnAccept(2)
+	s1.Vault(0).OnAccept(4)
+	s1.Vault(2).OnReject()
+	s1.Link("link0.req").OnTx(9, 600)
+	s1.NoC.OnHop(1)
+	s1.Host.OnTagTake(5)
+
+	s2 := c.NewSystem()
+	s2.SetClock(func() int64 { return 3000 })
+	s2.Vault(0).OnAccept(6)
+	s2.Link("link0.req").OnTx(1, 200)
+	s2.Link("link0.resp").OnRetry(100)
+	s2.Host.OnTagWait()
+
+	sum := c.Summary()
+	if sum.Systems != 2 {
+		t.Fatalf("systems %d, want 2", sum.Systems)
+	}
+	if sum.Vaults.Accepts != 3 || sum.Vaults.Rejects != 1 {
+		t.Fatalf("vault totals %+v", sum.Vaults)
+	}
+	if got := sum.Vaults.PerVault[0].Accepts; got != 3 {
+		t.Fatalf("vault 0 accepts %d, want 3", got)
+	}
+	if mean := sum.Vaults.PerVault[0].MeanOcc; mean != 4 {
+		t.Fatalf("vault 0 mean occupancy %v, want 4", mean)
+	}
+	if len(sum.Links) != 2 || sum.Links[0].Name != "link0.req" {
+		t.Fatalf("links %+v", sum.Links)
+	}
+	req := sum.Links[0]
+	if req.Packets != 2 || req.Flits != 10 || req.BusyPs != 800 || req.WindowPs != 4000 {
+		t.Fatalf("link0.req aggregate %+v", req)
+	}
+	if req.Utilization != 0.2 {
+		t.Fatalf("link0.req utilization %v, want 0.2", req.Utilization)
+	}
+	if sum.NoC.Hops != 1 || sum.Host.TagTakes != 1 || sum.Host.TagWaits != 1 {
+		t.Fatalf("noc/host aggregates %+v %+v", sum.NoC, sum.Host)
+	}
+
+	// The summary must round-trip as JSON and render as text.
+	blob, err := sum.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	text := sum.String()
+	for _, want := range []string{"tracer summary (2 systems)", "link0.req", "vault  0"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("summary text missing %q:\n%s", want, text)
+		}
+	}
+}

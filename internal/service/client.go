@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -207,6 +208,74 @@ func (c *Client) Run(ctx context.Context, spec hmcsim.Spec, interval time.Durati
 		c.CancelOrphan(w.ID) //nolint:errcheck // best-effort; the caller is already unwinding
 	}
 	return w, err
+}
+
+// streamClient returns an HTTP client for long-lived streams: the
+// configured client's transport without its overall Timeout, which
+// would kill a progress stream mid-simulation. Stream lifetime is
+// governed by the request context instead.
+func (c *Client) streamClient() *http.Client {
+	base := c.httpClient()
+	return &http.Client{
+		Transport:     base.Transport,
+		CheckRedirect: base.CheckRedirect,
+		Jar:           base.Jar,
+	}
+}
+
+// maxStreamLineBytes bounds one SSE line; progress events are ~200
+// bytes, so 1 MiB is pure hostile-input armor.
+const maxStreamLineBytes = 1 << 20
+
+// WatchJob subscribes to GET /v1/jobs/{id}/progress and invokes fn for
+// every event, the terminal one included. Once the stream reports a
+// terminal state it fetches and returns the job's full view (the
+// stream itself carries only progress counters). An error leaves the
+// job running; callers wanting resilience fall back to Wait.
+func (c *Client) WatchJob(ctx context.Context, id string, fn func(JobProgress)) (JobView, error) {
+	path := "/v1/jobs/" + id + "/progress"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimSuffix(c.Base, "/")+path, nil)
+	if err != nil {
+		return JobView{}, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.streamClient().Do(req)
+	if err != nil {
+		return JobView{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		apiErr := &APIError{Status: resp.StatusCode, Method: http.MethodGet, Path: path}
+		blob, _ := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+		var e errorBody
+		if json.Unmarshal(blob, &e) == nil && e.Error != "" {
+			apiErr.Message = e.Error
+			apiErr.Code = e.Code
+		}
+		return JobView{}, apiErr
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 4096), maxStreamLineBytes)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue // comments, blank event separators
+		}
+		var p JobProgress
+		if err := json.Unmarshal([]byte(line[len("data: "):]), &p); err != nil {
+			return JobView{}, fmt.Errorf("GET %s: decode progress event: %w", path, err)
+		}
+		if fn != nil {
+			fn(p)
+		}
+		if p.State.Terminal() {
+			return c.Job(ctx, id)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return JobView{}, err
+	}
+	return JobView{}, fmt.Errorf("GET %s: stream ended without a terminal event: %w", path, io.ErrUnexpectedEOF)
 }
 
 // CancelOrphan cancels a job whose caller is abandoning it, detached

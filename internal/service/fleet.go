@@ -47,6 +47,12 @@ type Fleet struct {
 	// order — so long batched runs can report progress while Run
 	// assembles the ordered results. Calls are serialized with Logf.
 	OnDone func(spec hmcsim.Spec, view JobView)
+	// OnProgress, when set, receives each in-flight job's live progress
+	// events (sweep points done, simulation headway), streamed over SSE
+	// instead of the plain status poll; if a daemon or intermediary
+	// cannot stream, that job falls back to polling silently. Calls are
+	// serialized with Logf and OnDone.
+	OnProgress func(spec hmcsim.Spec, p JobProgress)
 
 	// logMu serializes Logf/OnDone calls from concurrent
 	// dispatchers/pollers.
@@ -512,7 +518,7 @@ func (r *fleetRun) settle(ctx context.Context, c *Client, pr pollResult, die fun
 // a daemon worker without an owner nor simulates concurrently with its
 // failover replacement.
 func (r *fleetRun) poll(ctx context.Context, c *Client, it fleetItem, id string, resc chan<- pollResult) {
-	v, err := c.Wait(ctx, id, r.f.pollInterval())
+	v, err := r.waitJob(ctx, c, it, id)
 	if err != nil && !v.State.Terminal() {
 		if cerr := c.CancelOrphan(id); cerr != nil {
 			r.f.logf("could not cancel job %s on %s: %v", id, c.Base, cerr)
@@ -521,4 +527,23 @@ func (r *fleetRun) poll(ctx context.Context, c *Client, it fleetItem, id string,
 		}
 	}
 	resc <- pollResult{it: it, view: v, err: err}
+}
+
+// waitJob waits one job to a terminal view: over the SSE progress
+// stream when the fleet wants live progress, by plain status polling
+// otherwise. A failed stream (a proxy that buffers SSE, an older
+// daemon without the endpoint) falls back to polling rather than
+// charging the daemon a failover, since the job itself may be fine.
+func (r *fleetRun) waitJob(ctx context.Context, c *Client, it fleetItem, id string) (JobView, error) {
+	if r.f.OnProgress != nil {
+		v, err := c.WatchJob(ctx, id, func(p JobProgress) {
+			r.f.logMu.Lock()
+			r.f.OnProgress(r.specs[it.idx], p)
+			r.f.logMu.Unlock()
+		})
+		if err == nil || ctx.Err() != nil || v.State.Terminal() {
+			return v, err
+		}
+	}
+	return c.Wait(ctx, id, r.f.pollInterval())
 }

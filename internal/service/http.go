@@ -48,19 +48,25 @@ func errorCode(err error) string {
 //	                       200 when every job is already terminal
 //	                       (cache hits), 202 otherwise
 //	GET    /v1/jobs/{id}   job status and, when done, its result
+//	GET    /v1/jobs/{id}/progress
+//	                       live progress as Server-Sent Events, ending
+//	                       with the terminal event
 //	DELETE /v1/jobs/{id}   cancel a queued or running job
 //	GET    /v1/experiments the experiment registry
 //	GET    /v1/stats       queue, worker, job and cache statistics
 //	GET    /v1/healthz     liveness probe
+//	GET    /metrics        Prometheus text exposition
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/progress", s.handleProgress)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 

@@ -59,6 +59,100 @@ type Job struct {
 	text      string
 	submitted time.Time
 	finished  time.Time
+
+	// prog is the latest live-progress snapshot from the running sweep;
+	// watchers are progress streams (SSE handlers), each a capacity-1
+	// latest-value channel so a slow consumer only coarsens its own
+	// updates and never blocks the simulation.
+	prog     hmcsim.Progress
+	watchers map[chan JobProgress]struct{}
+}
+
+// JobProgress is one event on the GET /v1/jobs/{id}/progress stream.
+type JobProgress struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	// Done / Total count finished and scheduled sweep points.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Events and SimTimePs measure simulation headway: engine events
+	// retired and simulated picoseconds advanced, summed across the
+	// job's engines.
+	Events    uint64  `json:"events"`
+	SimTimePs int64   `json:"simTimePs"`
+	ElapsedMs float64 `json:"elapsedMs"`
+}
+
+// progressLocked snapshots the stream event for the current state.
+func (j *Job) progressLocked() JobProgress {
+	p := JobProgress{
+		ID:        j.id,
+		State:     j.state,
+		Done:      j.prog.Done,
+		Total:     j.prog.Total,
+		Events:    j.prog.Events,
+		SimTimePs: j.prog.SimTimePs,
+	}
+	end := j.finished
+	if end.IsZero() {
+		end = time.Now()
+	}
+	p.ElapsedMs = float64(end.Sub(j.submitted).Microseconds()) / 1000
+	return p
+}
+
+// setProgress records a live snapshot and fans it out to watchers.
+func (j *Job) setProgress(p hmcsim.Progress) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return // the terminal event has already been broadcast
+	}
+	j.prog = p
+	j.notifyLocked()
+}
+
+// notifyLocked delivers the current progress event to every watcher,
+// replacing any undelivered previous event (latest-value semantics).
+func (j *Job) notifyLocked() {
+	if len(j.watchers) == 0 {
+		return
+	}
+	p := j.progressLocked()
+	for ch := range j.watchers {
+		select {
+		case ch <- p:
+		default:
+			select {
+			case <-ch: // drop the stale event
+			default:
+			}
+			select {
+			case ch <- p:
+			default:
+			}
+		}
+	}
+}
+
+// watch subscribes to the job's progress stream. The returned channel
+// immediately carries the current snapshot (for terminal jobs, the
+// terminal event), so a late subscriber always observes at least one
+// event. stop unsubscribes; the channel is never closed.
+func (j *Job) watch() (ch chan JobProgress, stop func()) {
+	ch = make(chan JobProgress, 1)
+	j.mu.Lock()
+	if j.watchers == nil {
+		j.watchers = map[chan JobProgress]struct{}{}
+	}
+	j.watchers[ch] = struct{}{}
+	ch <- j.progressLocked()
+	j.mu.Unlock()
+	return ch, func() {
+		j.mu.Lock()
+		delete(j.watchers, ch)
+		j.mu.Unlock()
+	}
 }
 
 // JobView is the job's wire representation.
@@ -164,6 +258,7 @@ func (j *Job) finishLocked(s State) {
 	j.finished = time.Now()
 	j.cancel() // release the context's resources
 	close(j.done)
+	j.notifyLocked() // terminal progress event, never dropped by new sends
 }
 
 // complete records a successful outcome. cached marks results served

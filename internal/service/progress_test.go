@@ -1,0 +1,267 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"hmcsim"
+)
+
+// sweepRunner drives a real hmcsim.Sweep so progress events flow
+// through the same WithProgress plumbing production jobs use.
+type sweepRunner struct {
+	name   string
+	points int
+	delay  time.Duration
+}
+
+func (r sweepRunner) Name() string     { return r.name }
+func (r sweepRunner) Describe() string { return "sweep runner " + r.name }
+
+func (r sweepRunner) Run(ctx context.Context, o hmcsim.Options) (hmcsim.Result, error) {
+	hmcsim.Sweep(ctx, 1, r.points, func(i int) int {
+		time.Sleep(r.delay)
+		return i
+	})
+	if err := ctx.Err(); err != nil {
+		return hmcsim.Result{}, err
+	}
+	return hmcsim.Result{Name: r.name, Text: "swept " + r.name}, nil
+}
+
+func TestProgressUnknownJob404(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1}, newFake("e"))
+	_, err := c.WatchJob(context.Background(), "j999999", nil)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("watch of unknown job: got %v, want 404 APIError", err)
+	}
+}
+
+// TestProgressStreamsSweepPoints is the acceptance test: a watcher of a
+// running multi-point sweep observes at least two progress events over
+// SSE before the terminal event, and the terminal event closes the
+// stream.
+func TestProgressStreamsSweepPoints(t *testing.T) {
+	const points = 6
+	_, c := newTestServer(t, Config{Workers: 1}, sweepRunner{name: "sweep", points: points, delay: 20 * time.Millisecond})
+	ctx := context.Background()
+	v, err := c.Submit(ctx, hmcsim.Spec{Exp: "sweep"})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	var events []JobProgress
+	final, err := c.WatchJob(ctx, v.ID, func(p JobProgress) { events = append(events, p) })
+	if err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	if final.State != StateDone {
+		t.Fatalf("final view state = %s, want done", final.State)
+	}
+	if final.Text != "swept sweep" {
+		t.Errorf("final view text = %q", final.Text)
+	}
+
+	if len(events) == 0 {
+		t.Fatal("no events observed")
+	}
+	term := events[len(events)-1]
+	if !term.State.Terminal() {
+		t.Fatalf("last event state = %s, want terminal", term.State)
+	}
+	if term.Done != points || term.Total != points {
+		t.Errorf("terminal event = %d/%d, want %d/%d", term.Done, term.Total, points, points)
+	}
+	live := 0
+	sawPartial := false
+	for _, p := range events[:len(events)-1] {
+		if p.State.Terminal() {
+			t.Fatalf("terminal event %+v arrived before the end of the stream", p)
+		}
+		live++
+		if p.Total == points && p.Done > 0 && p.Done < points {
+			sawPartial = true
+		}
+	}
+	if live < 2 {
+		t.Errorf("observed %d progress events before the terminal one, want >= 2", live)
+	}
+	if !sawPartial {
+		t.Errorf("no mid-sweep event (0 < done < %d) observed; events: %+v", points, events)
+	}
+}
+
+// TestProgressTerminalReplay: subscribing to an already-finished job
+// replays the terminal event immediately and closes the stream.
+func TestProgressTerminalReplay(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1}, sweepRunner{name: "sweep", points: 3})
+	ctx := context.Background()
+	v, err := c.Submit(ctx, hmcsim.Spec{Exp: "sweep"})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitJob(t, c, v.ID)
+
+	wctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	var events []JobProgress
+	final, err := c.WatchJob(wctx, v.ID, func(p JobProgress) { events = append(events, p) })
+	if err != nil {
+		t.Fatalf("watch finished job: %v", err)
+	}
+	if final.State != StateDone {
+		t.Errorf("final view state = %s, want done", final.State)
+	}
+	if len(events) != 1 {
+		t.Fatalf("got %d events replaying a terminal job, want exactly 1: %+v", len(events), events)
+	}
+	if !events[0].State.Terminal() || events[0].Done != 3 || events[0].Total != 3 {
+		t.Errorf("replayed terminal event = %+v, want done state with 3/3", events[0])
+	}
+}
+
+// TestProgressClientDisconnectLeaksNoGoroutines: watchers that abandon
+// their streams must not leave handler or watcher goroutines behind.
+func TestProgressClientDisconnectLeaksNoGoroutines(t *testing.T) {
+	blocker := newBlockingFake("blocker")
+	_, c := newTestServer(t, Config{Workers: 1}, blocker)
+	ctx := context.Background()
+	v, err := c.Submit(ctx, hmcsim.Spec{Exp: "blocker"})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	<-blocker.started
+
+	base := runtime.NumGoroutine()
+	const watchers = 4
+	wctx, cancel := context.WithCancel(ctx)
+	done := make(chan struct{}, watchers)
+	for i := 0; i < watchers; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			c.WatchJob(wctx, v.ID, nil) //nolint:errcheck // error expected: ctx canceled
+		}()
+	}
+	// Let the streams establish (each delivers its initial snapshot).
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	for i := 0; i < watchers; i++ {
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("watcher goroutine did not return after cancel")
+		}
+	}
+
+	// Handler goroutines unwind asynchronously; poll until the count
+	// settles back to (near) the pre-watch baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base+1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines settled at %d, want <= %d (baseline before watchers)",
+				runtime.NumGoroutine(), base+1)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(blocker.release)
+	waitJob(t, c, v.ID)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 2}, sweepRunner{name: "sweep", points: 4})
+	ctx := context.Background()
+	v, err := c.Submit(ctx, hmcsim.Spec{Exp: "sweep"})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitJob(t, c, v.ID)
+
+	resp, err := c.httpClient().Get(c.Base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q, want text/plain exposition", ct)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	body := string(blob)
+	for _, want := range []string{
+		"# TYPE hmcsim_jobs gauge",
+		`hmcsim_jobs{state="done"} 1`,
+		"hmcsim_workers 2",
+		"hmcsim_uptime_seconds",
+		"hmcsim_build_info{version=",
+		"hmcsim_cache_misses_total 1",
+		`hmcsim_worker_jobs_total{worker="0"}`,
+		`hmcsim_worker_busy_seconds_total{worker="1"}`,
+		"hmcsim_sweep_points_total 4",
+		"hmcsim_goroutines",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestStatsExtendedFields(t *testing.T) {
+	s, c := newTestServer(t, Config{Workers: 3}, sweepRunner{name: "sweep", points: 2})
+	ctx := context.Background()
+	v, err := c.Submit(ctx, hmcsim.Spec{Exp: "sweep"})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitJob(t, c, v.ID)
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.UptimeSeconds <= 0 {
+		t.Errorf("uptime = %v, want > 0", st.UptimeSeconds)
+	}
+	if st.Version == "" {
+		t.Error("version is empty")
+	}
+	if st.Goroutines <= 0 {
+		t.Errorf("goroutines = %d, want > 0", st.Goroutines)
+	}
+	if len(st.WorkerStats) != 3 {
+		t.Fatalf("got %d worker rows, want 3", len(st.WorkerStats))
+	}
+	var jobs uint64
+	var busy float64
+	for _, ws := range st.WorkerStats {
+		jobs += ws.Jobs
+		busy += ws.BusyMs
+		if ws.IdleMs < 0 {
+			t.Errorf("worker %d idle = %v, want >= 0", ws.Worker, ws.IdleMs)
+		}
+	}
+	if jobs != 1 {
+		t.Errorf("workers report %d jobs total, want 1", jobs)
+	}
+	if busy <= 0 {
+		t.Errorf("workers report %v busy ms total, want > 0", busy)
+	}
+	if st.SweepPoints != 2 {
+		t.Errorf("sweepPoints = %d, want 2", st.SweepPoints)
+	}
+	_ = s
+}

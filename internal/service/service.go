@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -96,6 +97,16 @@ type Server struct {
 	batches    atomic.Uint64
 	batchSpecs atomic.Uint64
 
+	// start anchors uptime; workers holds per-worker busy accounting.
+	start   time.Time
+	workers []workerStat
+	// Daemon-wide simulation headway, aggregated from job progress
+	// reports: engine events retired, simulated picoseconds advanced,
+	// and sweep points finished across all jobs ever run.
+	simEvents   atomic.Uint64
+	simTimePs   atomic.Int64
+	sweepPoints atomic.Uint64
+
 	mu    sync.Mutex
 	jobs  map[string]*Job
 	order []string // insertion order, for terminal-job pruning
@@ -122,15 +133,35 @@ func New(cfg Config, runners []hmcsim.Runner) *Server {
 		jobs:     map[string]*Job{},
 		inflight: map[string]*Job{},
 	}
+	s.start = time.Now()
+	s.workers = make([]workerStat, cfg.Workers)
 	for _, r := range runners {
 		s.runners[r.Name()] = r
 		s.names = append(s.names, r.Name())
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
-		go s.worker()
+		go s.worker(i)
 	}
 	return s
+}
+
+// workerStat is one worker's lifetime accounting. since holds the
+// start of the in-progress job as unix nanoseconds (0 when idle), so
+// busy time includes the job currently running.
+type workerStat struct {
+	jobs   atomic.Uint64
+	busyNs atomic.Int64
+	since  atomic.Int64
+}
+
+// busy returns total busy time including any in-progress job.
+func (w *workerStat) busy() time.Duration {
+	d := time.Duration(w.busyNs.Load())
+	if since := w.since.Load(); since != 0 {
+		d += time.Since(time.Unix(0, since))
+	}
+	return d
 }
 
 // Close cancels every queued and in-flight job and stops the workers.
@@ -149,10 +180,14 @@ func (s *Server) Close() {
 }
 
 // worker pulls jobs off the queue until the queue closes.
-func (s *Server) worker() {
+func (s *Server) worker(i int) {
 	defer s.wg.Done()
+	st := &s.workers[i]
 	for job := range s.queue {
+		st.since.Store(time.Now().UnixNano())
 		s.runJob(job)
+		st.busyNs.Add(time.Now().UnixNano() - st.since.Swap(0))
+		st.jobs.Add(1)
 		s.clearInflight(job)
 	}
 }
@@ -191,7 +226,18 @@ func (s *Server) runJob(j *Job) {
 	runner := s.runners[j.spec.Exp] // validated at submission
 	o := j.spec.Options
 	o.Workers = 1 // one single-threaded engine per worker
-	res, err := runSafely(j.ctx, runner, o)
+	// Stream sweep/engine progress to the job's watchers and fold the
+	// deltas into the daemon-wide counters. The sink serializes calls,
+	// so last needs no lock.
+	var last hmcsim.Progress
+	pctx := hmcsim.WithProgress(j.ctx, func(p hmcsim.Progress) {
+		s.simEvents.Add(p.Events - last.Events)
+		s.simTimePs.Add(p.SimTimePs - last.SimTimePs)
+		s.sweepPoints.Add(uint64(p.Done - last.Done))
+		last = p
+		j.setProgress(p)
+	})
+	res, err := runSafely(pctx, runner, o)
 	switch {
 	case j.ctx.Err() != nil:
 		// The sweep returned early with partial data; discard it.
@@ -528,6 +574,28 @@ type Stats struct {
 	// specs they carried.
 	Batches    uint64 `json:"batches"`
 	BatchSpecs uint64 `json:"batchSpecs"`
+	// Process health: seconds since startup, the build version, and the
+	// live goroutine count.
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	Version       string  `json:"version"`
+	Goroutines    int     `json:"goroutines"`
+	// WorkerStats is one row per pool worker: jobs completed and busy
+	// vs idle wall time (busy includes the job running right now).
+	WorkerStats []WorkerStatView `json:"workerStats"`
+	// Simulation headway aggregated across every job the daemon has
+	// run: engine events retired, simulated milliseconds advanced, and
+	// sweep points completed.
+	SimEvents   uint64  `json:"simEvents"`
+	SimTimeMs   float64 `json:"simTimeMs"`
+	SweepPoints uint64  `json:"sweepPoints"`
+}
+
+// WorkerStatView is one worker's row in Stats.
+type WorkerStatView struct {
+	Worker int     `json:"worker"`
+	Jobs   uint64  `json:"jobs"`
+	BusyMs float64 `json:"busyMs"`
+	IdleMs float64 `json:"idleMs"`
 }
 
 // Snapshot gathers current serving statistics.
@@ -539,16 +607,54 @@ func (s *Server) Snapshot() Stats {
 	}
 	queued := len(s.queue)
 	s.mu.Unlock()
-	return Stats{
-		Experiments:  len(s.names),
-		Workers:      s.cfg.Workers,
-		QueueDepth:   queued,
-		QueueCap:     s.cfg.QueueDepth,
-		Jobs:         jobs,
-		Cache:        s.cache.Stats(),
-		Inflight:     int(s.running.Load()),
-		InflightPeak: int(s.runningPeak.Load()),
-		Batches:      s.batches.Load(),
-		BatchSpecs:   s.batchSpecs.Load(),
+	uptime := time.Since(s.start)
+	ws := make([]WorkerStatView, len(s.workers))
+	for i := range s.workers {
+		busy := s.workers[i].busy()
+		idle := uptime - busy
+		if idle < 0 {
+			idle = 0
+		}
+		ws[i] = WorkerStatView{
+			Worker: i,
+			Jobs:   s.workers[i].jobs.Load(),
+			BusyMs: float64(busy.Microseconds()) / 1000,
+			IdleMs: float64(idle.Microseconds()) / 1000,
+		}
 	}
+	return Stats{
+		Experiments:   len(s.names),
+		Workers:       s.cfg.Workers,
+		QueueDepth:    queued,
+		QueueCap:      s.cfg.QueueDepth,
+		Jobs:          jobs,
+		Cache:         s.cache.Stats(),
+		Inflight:      int(s.running.Load()),
+		InflightPeak:  int(s.runningPeak.Load()),
+		Batches:       s.batches.Load(),
+		BatchSpecs:    s.batchSpecs.Load(),
+		UptimeSeconds: uptime.Seconds(),
+		Version:       version(),
+		Goroutines:    runtime.NumGoroutine(),
+		WorkerStats:   ws,
+		SimEvents:     s.simEvents.Load(),
+		SimTimeMs:     float64(s.simTimePs.Load()) / 1e9,
+		SweepPoints:   s.sweepPoints.Load(),
+	}
+}
+
+// Version, when set via -ldflags "-X hmcsim/internal/service.Version=v1.2.3",
+// overrides the module build info in /v1/stats and /metrics.
+var Version string
+
+// version resolves the served build version: the ldflags override, the
+// module version stamped by the Go toolchain, or "devel".
+func version() string {
+	if Version != "" {
+		return Version
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "devel"
 }

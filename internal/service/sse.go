@@ -1,0 +1,74 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// handleProgress serves GET /v1/jobs/{id}/progress as a Server-Sent
+// Events stream: one data-only JSON event per progress update, ending
+// with the event whose state is terminal, after which the stream
+// closes. Subscribing to an already-terminal job replays that terminal
+// event and closes immediately, so late watchers never hang. A client
+// disconnect tears the handler down at the next event or immediately
+// via the request context.
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	ch, stop := j.watch()
+	defer stop()
+	for {
+		select {
+		case p := <-ch:
+			if err := writeSSE(w, p); err != nil {
+				return // client gone
+			}
+			fl.Flush()
+			if p.State.Terminal() {
+				return
+			}
+		case <-j.Done():
+			// The job went terminal; the terminal broadcast may have
+			// landed in ch before this case fired, so drain it, falling
+			// back to a direct snapshot.
+			var p JobProgress
+			select {
+			case p = <-ch:
+			default:
+				j.mu.Lock()
+				p = j.progressLocked()
+				j.mu.Unlock()
+			}
+			if writeSSE(w, p) == nil {
+				fl.Flush()
+			}
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE emits one data-only SSE event.
+func writeSSE(w http.ResponseWriter, p JobProgress) error {
+	raw, err := json.Marshal(p)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "data: %s\n\n", raw)
+	return err
+}

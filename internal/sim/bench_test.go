@@ -46,6 +46,28 @@ func BenchmarkEngineTimerTick(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineRunCheckpoint measures the event loop through Run with
+// the observability checkpoint disabled (the default: one predictable
+// branch per event) and installed but idle — both must stay 0 allocs/op.
+func BenchmarkEngineRunCheckpoint(b *testing.B) {
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			eng := NewEngine()
+			var t *Timer
+			t = eng.NewTimer(func() { t.After(100) })
+			t.After(0)
+			if mode == "on" {
+				eng.SetCheckpoint(64, func() bool { return true })
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Run(eng.Now() + 100)
+			}
+		})
+	}
+}
+
 // BenchmarkQueuePushPop measures one push + one pop at a fixed standing
 // occupancy. The slice-based Queue paid an O(occupancy) copy per pop;
 // the ring pays O(1) at any depth.

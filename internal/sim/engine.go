@@ -80,6 +80,16 @@ type Engine struct {
 	now    Time
 	seq    uint64
 	nfired uint64
+
+	// Checkpoint state: every ckEvery fired events Run and Drain call
+	// ckFn, which may observe progress and request an early stop by
+	// returning false. ckEvery == 0 (the default) disables the check, so
+	// the uninstrumented loop pays one predictable branch per event and
+	// nothing else.
+	ckEvery     uint64
+	ckLeft      uint64
+	ckFn        func() bool
+	interrupted bool
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -179,12 +189,56 @@ func (e *Engine) Step() bool {
 	return true
 }
 
+// SetCheckpoint installs fn to run every `every` fired events during Run
+// and Drain. Returning false interrupts the loop — the mechanism behind
+// context cancellation mid-simulation and streamed progress reporting.
+// every == 0 or a nil fn removes the checkpoint. The callback never runs
+// mid-event and must not allocate if the caller relies on the kernel's
+// 0 allocs/op guarantee.
+func (e *Engine) SetCheckpoint(every uint64, fn func() bool) {
+	if every == 0 || fn == nil {
+		e.ckEvery, e.ckLeft, e.ckFn = 0, 0, nil
+		return
+	}
+	e.ckEvery, e.ckLeft, e.ckFn = every, every, fn
+}
+
+// Interrupted reports whether the last Run or Drain stopped early at a
+// checkpoint. Interrupted runs leave the simulation mid-flight; their
+// results are partial and must be discarded.
+func (e *Engine) Interrupted() bool { return e.interrupted }
+
+// checkpoint counts down to the next installed checkpoint and reports
+// whether the loop should stop. Hot-path shape: the common case is two
+// compares and a decrement.
+func (e *Engine) checkpoint() (stop bool) {
+	if e.ckEvery == 0 {
+		return false
+	}
+	if e.ckLeft--; e.ckLeft > 0 {
+		return false
+	}
+	e.ckLeft = e.ckEvery
+	if e.ckFn() {
+		return false
+	}
+	e.interrupted = true
+	return true
+}
+
 // Run executes events until the queue is empty or the next event would
 // fire after the until timestamp. It returns the time at which it stopped.
-// Events exactly at the until timestamp are executed.
+// Events exactly at the until timestamp are executed. An installed
+// checkpoint may interrupt the loop early (see SetCheckpoint), in which
+// case the clock is left at the last fired event rather than advanced
+// to until.
 func (e *Engine) Run(until Time) Time {
+	e.interrupted = false
 	for len(e.pq) > 0 && e.pq[0].at <= until {
 		e.Step()
+		if e.checkpoint() {
+			return e.now
+		}
 	}
 	if e.now < until {
 		e.now = until
@@ -194,9 +248,14 @@ func (e *Engine) Run(until Time) Time {
 
 // Drain executes all remaining events regardless of time. It is intended
 // for tests and for letting in-flight transactions complete after a
-// measurement window closes.
+// measurement window closes. Like Run, an installed checkpoint may
+// interrupt it early.
 func (e *Engine) Drain() {
+	e.interrupted = false
 	for e.Step() {
+		if e.checkpoint() {
+			return
+		}
 	}
 }
 

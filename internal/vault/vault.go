@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"hmcsim/internal/dram"
+	"hmcsim/internal/obs"
 	"hmcsim/internal/packet"
 	"hmcsim/internal/phys"
 	"hmcsim/internal/sim"
@@ -52,6 +53,11 @@ type Config struct {
 	// does not stall traffic to its siblings until the input buffer
 	// itself fills with requests for the blocked bank.
 	RecvQueueDepth int
+
+	// Trace, when non-nil, observes admissions, rejections and queue
+	// occupancy. Nil (the default) keeps the admission path hook a
+	// single predictable branch.
+	Trace *obs.VaultTracer
 }
 
 // DefaultConfig returns the HMC 1.1 vault parameters used by the
@@ -107,6 +113,11 @@ type Vault struct {
 
 	reads, writes uint64
 	bytesServed   uint64
+
+	// nq mirrors the total occupancy of the bank queues, so tracing (and
+	// Queued) read it in O(1) instead of scanning sixteen queues.
+	nq    int
+	trace *obs.VaultTracer
 }
 
 // New builds a vault. resp receives completed transactions.
@@ -131,6 +142,7 @@ func New(eng *sim.Engine, cfg Config, resp RespOutlet) *Vault {
 		tsv:       sim.NewServer(eng),
 		tsvTokens: sim.NewTokenPool(cfg.TSVWindow),
 		out:       sim.NewQueue[*packet.Transaction](0),
+		trace:     cfg.Trace,
 	}
 	v.kickFns = make([]func(), cfg.Banks)
 	v.bankReadyFns = make([]func(), cfg.Banks)
@@ -174,14 +186,18 @@ func (v *Vault) TryAccept(tr *packet.Transaction) bool {
 	now := v.eng.Now()
 	// Fast path: move straight into the bank queue when possible.
 	if v.recvQ.Empty() && v.queues[tr.Bank].Push(now, tr) {
+		v.nq++
 		tr.TVaultIn = now
+		v.trace.OnAccept(v.nq)
 		v.kickBank(tr.Bank)
 		return true
 	}
 	if !v.recvQ.Push(now, tr) {
+		v.trace.OnReject()
 		return false
 	}
 	tr.TVaultIn = now
+	v.trace.OnAccept(v.nq + v.recvQ.Len())
 	v.dispatch()
 	return true
 }
@@ -204,6 +220,7 @@ func (v *Vault) dispatch() {
 		for i := 0; i < v.recvQ.Len(); {
 			tr := v.recvQ.At(i)
 			if v.queues[tr.Bank].Push(now, tr) {
+				v.nq++
 				v.recvQ.RemoveAt(now, i)
 				v.kickBank(tr.Bank)
 				moved = true
@@ -239,6 +256,7 @@ func (v *Vault) kickBank(b int) {
 	}
 	now := v.eng.Now()
 	tr, _ := v.queues[b].Pop(now)
+	v.nq--
 	v.bankBusy[b] = true
 	v.dispatch()
 
@@ -314,13 +332,7 @@ func (v *Vault) QueueLen(b int) int { return v.queues[b].Len() }
 func (v *Vault) RecvQueued() int { return v.recvQ.Len() }
 
 // Queued returns the total requests waiting in all bank queues.
-func (v *Vault) Queued() int {
-	n := 0
-	for _, q := range v.queues {
-		n += q.Len()
-	}
-	return n
-}
+func (v *Vault) Queued() int { return v.nq }
 
 // Reads returns the number of read transactions issued to DRAM.
 func (v *Vault) Reads() uint64 { return v.reads }

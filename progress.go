@@ -1,0 +1,94 @@
+package hmcsim
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Progress is a live snapshot of a running experiment: how many sweep
+// points have finished, and how much simulated work the engines built
+// via Options.NewSystemCtx have retired so far.
+type Progress struct {
+	Done      int    `json:"done"`      // sweep points finished
+	Total     int    `json:"total"`     // sweep points scheduled
+	Events    uint64 `json:"events"`    // engine events retired
+	SimTimePs int64  `json:"simTimePs"` // simulated time advanced, summed across engines
+}
+
+// WithProgress returns a context that delivers Progress snapshots to fn
+// while experiments run under it. Sweep reports every point boundary;
+// engines from Options.NewSystemCtx report simulation headway at their
+// cancellation checkpoints, rate-limited to a few updates per second.
+//
+// fn is called from worker goroutines but never concurrently; it must
+// not block for long, since engine checkpoints wait on it.
+func WithProgress(ctx context.Context, fn func(Progress)) context.Context {
+	if fn == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, progressKey{}, &progressSink{fn: fn})
+}
+
+type progressKey struct{}
+
+// progressSink serializes Progress updates from concurrently running
+// sweep workers and rate-limits the high-frequency engine ticks.
+type progressSink struct {
+	mu   sync.Mutex
+	fn   func(Progress)
+	cur  Progress
+	last time.Time
+}
+
+const progressMinGap = 100 * time.Millisecond
+
+func sinkFrom(ctx context.Context) *progressSink {
+	s, _ := ctx.Value(progressKey{}).(*progressSink)
+	return s
+}
+
+// addTotal announces n more sweep points; flushed immediately so
+// watchers learn the denominator before the first point lands.
+func (s *progressSink) addTotal(n int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.cur.Total += n
+	s.flushLocked()
+	s.mu.Unlock()
+}
+
+// pointDone records one finished sweep point; flushed immediately since
+// point boundaries are rare and the most meaningful signal.
+func (s *progressSink) pointDone() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.cur.Done++
+	s.flushLocked()
+	s.mu.Unlock()
+}
+
+// engineTick accumulates simulation headway deltas from engine
+// checkpoints; these fire thousands of times per second, so delivery is
+// rate-limited.
+func (s *progressSink) engineTick(events uint64, simPs int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.cur.Events += events
+	s.cur.SimTimePs += simPs
+	if time.Since(s.last) >= progressMinGap {
+		s.flushLocked()
+	}
+	s.mu.Unlock()
+}
+
+func (s *progressSink) flushLocked() {
+	s.last = time.Now()
+	s.fn(s.cur)
+}

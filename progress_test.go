@@ -1,0 +1,169 @@
+// Tests for the observability wiring of the public API: progress
+// sinks, trace collectors, and context-cancellation checkpoints in
+// systems built with Options.NewSystemCtx.
+package hmcsim_test
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"hmcsim"
+)
+
+func TestWithProgressReportsSweepPoints(t *testing.T) {
+	var mu sync.Mutex
+	var got []hmcsim.Progress
+	pctx := hmcsim.WithProgress(context.Background(), func(p hmcsim.Progress) {
+		mu.Lock()
+		got = append(got, p)
+		mu.Unlock()
+	})
+	hmcsim.Sweep(pctx, 2, 5, func(i int) int { return i })
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) < 2 {
+		t.Fatalf("want at least 2 progress events (total announcement + points), got %d", len(got))
+	}
+	if got[0].Total != 5 {
+		t.Errorf("first event total = %d, want 5 (announced before points land)", got[0].Total)
+	}
+	last := got[len(got)-1]
+	if last.Done != 5 || last.Total != 5 {
+		t.Errorf("final event = %d/%d, want 5/5", last.Done, last.Total)
+	}
+}
+
+func TestWithProgressCarriesEngineHeadway(t *testing.T) {
+	var mu sync.Mutex
+	var last hmcsim.Progress
+	pctx := hmcsim.WithProgress(context.Background(), func(p hmcsim.Progress) {
+		mu.Lock()
+		last = p
+		mu.Unlock()
+	})
+	o := hmcsim.Options{Quick: true}
+	hmcsim.Sweep(pctx, 1, 2, func(i int) float64 {
+		sys := o.NewSystemCtx(pctx)
+		m := hmcsim.GUPS{
+			Ports: 1, Size: 128, Pattern: hmcsim.AllVaults,
+			Warmup: hmcsim.Microsecond, Window: 5 * hmcsim.Microsecond,
+		}.Run(sys)
+		return m.GBps
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	// The point-boundary flushes force out whatever engine headway the
+	// rate limiter was still holding.
+	if last.Events == 0 {
+		t.Error("final progress reports zero engine events despite two simulations")
+	}
+	if last.SimTimePs == 0 {
+		t.Error("final progress reports zero simulated time despite two simulations")
+	}
+}
+
+func TestNewSystemCtxCancelInterruptsRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before the simulation even starts
+	o := hmcsim.Options{}
+	sys := o.NewSystemCtx(ctx)
+	window := 500 * hmcsim.Microsecond
+	hmcsim.GUPS{
+		Ports: 9, Size: 128, Pattern: hmcsim.AllVaults,
+		Warmup: 100 * hmcsim.Microsecond, Window: window,
+	}.Run(sys)
+	// The engine hits its first checkpoint within a few thousand events
+	// and stops; a full run would advance simulated time to 600 us.
+	if sys.Eng.Now() >= 100*hmcsim.Microsecond {
+		t.Fatalf("engine ran to %v despite canceled context", sys.Eng.Now())
+	}
+	if !sys.Eng.Interrupted() {
+		t.Error("engine does not report the checkpoint interrupt")
+	}
+}
+
+func TestNewSystemCtxBackgroundMatchesNewSystem(t *testing.T) {
+	o := hmcsim.Options{Quick: true, Seed: 7}
+	run := func(sys *hmcsim.System) hmcsim.Measurement {
+		return hmcsim.GUPS{
+			Ports: 2, Size: 64, Pattern: hmcsim.AllVaults,
+			Warmup: 2 * hmcsim.Microsecond, Window: 10 * hmcsim.Microsecond,
+		}.Run(sys)
+	}
+	plain := run(o.NewSystem())
+	wired := run(o.NewSystemCtx(context.Background()))
+	if !reflect.DeepEqual(plain, wired) {
+		t.Errorf("NewSystemCtx(background) diverges from NewSystem:\n %+v\n %+v", plain, wired)
+	}
+}
+
+func TestWithTraceCollectsComponentActivity(t *testing.T) {
+	ctx, col := hmcsim.WithTrace(context.Background())
+	o := hmcsim.Options{Quick: true}
+	sys := o.NewSystemCtx(ctx)
+	hmcsim.GUPS{
+		Ports: 2, Size: 128, Pattern: hmcsim.AllVaults,
+		Warmup: 2 * hmcsim.Microsecond, Window: 10 * hmcsim.Microsecond,
+	}.Run(sys)
+
+	if col.Systems() != 1 {
+		t.Fatalf("collector saw %d systems, want 1", col.Systems())
+	}
+	text := col.String()
+	for _, want := range []string{"tracer summary", "vaults: accepts=", "link0.req", "noc: hops=", "host: tag takes="} {
+		if !strings.Contains(text, want) {
+			t.Errorf("summary text missing %q:\n%s", want, text)
+		}
+	}
+	blob, err := json.Marshal(col)
+	if err != nil {
+		t.Fatalf("marshal collector: %v", err)
+	}
+	var sum struct {
+		Vaults struct {
+			Accepts uint64 `json:"Accepts"`
+		}
+		NoC struct {
+			Hops uint64 `json:"Hops"`
+		}
+		Host struct {
+			TagTakes uint64 `json:"TagTakes"`
+		}
+	}
+	if err := json.Unmarshal(blob, &sum); err != nil {
+		t.Fatalf("unmarshal summary: %v", err)
+	}
+	if sum.Vaults.Accepts == 0 {
+		t.Error("traced run recorded zero vault accepts")
+	}
+	if sum.NoC.Hops == 0 {
+		t.Error("traced run recorded zero NoC hops")
+	}
+	if sum.Host.TagTakes == 0 {
+		t.Error("traced run recorded zero host tag takes")
+	}
+}
+
+// TestTraceDoesNotChangeResults guards determinism: a traced system
+// must produce bit-identical measurements to an untraced one, since
+// tracers only observe.
+func TestTraceDoesNotChangeResults(t *testing.T) {
+	o := hmcsim.Options{Quick: true, Seed: 3}
+	run := func(ctx context.Context) hmcsim.Measurement {
+		sys := o.NewSystemCtx(ctx)
+		return hmcsim.GUPS{
+			Ports: 2, Size: 64, Pattern: hmcsim.AllVaults,
+			Warmup: 2 * hmcsim.Microsecond, Window: 10 * hmcsim.Microsecond,
+		}.Run(sys)
+	}
+	plain := run(context.Background())
+	tctx, _ := hmcsim.WithTrace(context.Background())
+	traced := run(tctx)
+	if !reflect.DeepEqual(plain, traced) {
+		t.Errorf("tracing changed the measurement:\n untraced %+v\n traced   %+v", plain, traced)
+	}
+}

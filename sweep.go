@@ -32,12 +32,15 @@ func Sweep[T any](ctx context.Context, workers, n int, job func(i int) T) []T {
 	if workers > n {
 		workers = n
 	}
+	sink := sinkFrom(ctx)
+	sink.addTotal(n)
 	if workers == 1 {
 		for i := range out {
 			if ctx.Err() != nil {
 				return out
 			}
 			out[i] = job(i)
+			sink.pointDone()
 		}
 		return out
 	}
@@ -57,6 +60,7 @@ func Sweep[T any](ctx context.Context, workers, n int, job func(i int) T) []T {
 					return
 				}
 				out[i] = job(i)
+				sink.pointDone()
 			}
 		}()
 	}

@@ -1,0 +1,41 @@
+package hmcsim
+
+import (
+	"context"
+
+	"hmcsim/internal/obs"
+)
+
+// TraceCollector accumulates per-component tracer state from every
+// system built with Options.NewSystemCtx under its context: vault queue
+// occupancy, link utilization, NoC hops, and host tag-pool pressure.
+// Obtain one with WithTrace; read it after the experiment finishes.
+type TraceCollector struct {
+	col obs.Collector
+}
+
+// WithTrace returns a context under which Options.NewSystemCtx attaches
+// tracers to every system it builds, and the collector that aggregates
+// them. Tracing adds a few percent of overhead to the kernel hot paths;
+// runs without WithTrace pay nothing.
+func WithTrace(ctx context.Context) (context.Context, *TraceCollector) {
+	tc := &TraceCollector{}
+	return context.WithValue(ctx, traceKey{}, tc), tc
+}
+
+type traceKey struct{}
+
+func collectorFrom(ctx context.Context) *TraceCollector {
+	tc, _ := ctx.Value(traceKey{}).(*TraceCollector)
+	return tc
+}
+
+// String renders a human-readable per-component summary.
+func (tc *TraceCollector) String() string { return tc.col.Summary().String() }
+
+// MarshalJSON renders the summary as JSON, for embedding alongside
+// experiment results.
+func (tc *TraceCollector) MarshalJSON() ([]byte, error) { return tc.col.Summary().JSON() }
+
+// Systems returns how many systems contributed tracers so far.
+func (tc *TraceCollector) Systems() int { return tc.col.Systems() }
