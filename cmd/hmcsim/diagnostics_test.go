@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// TestTimelineFlagWritesChromeTrace: `hmcsim -exp fig6 -quick -timeline
+// out.json` simulates normally and writes a valid Chrome trace_event
+// file with per-component counter series.
+func TestTimelineFlagWritesChromeTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	var out, stderr bytes.Buffer
+	code := run(context.Background(), []string{"-exp", "fig6", "-quick", "-timeline", path}, &out, &stderr)
+	if code != 0 {
+		t.Fatalf("exited %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(out.String(), "fig6") {
+		t.Fatalf("results missing from stdout:\n%s", out.String())
+	}
+	if !strings.Contains(stderr.String(), "timeline written to "+path) {
+		t.Fatalf("stderr missing the timeline note:\n%s", stderr.String())
+	}
+	blob := readFile(t, path)
+	var trace struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(blob, &trace); err != nil {
+		t.Fatalf("timeline is not valid JSON: %v", err)
+	}
+	if trace.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit %q, want ms", trace.DisplayTimeUnit)
+	}
+	counters := map[string]bool{}
+	meta := 0
+	for _, ev := range trace.TraceEvents {
+		switch ev.Ph {
+		case "C":
+			counters[ev.Name] = true
+		case "M":
+			meta++
+		default:
+			t.Fatalf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	if meta == 0 {
+		t.Fatal("trace has no process_name metadata events")
+	}
+	for _, want := range []string{"vault 0", "noc hops", "host tags"} {
+		if !counters[want] {
+			t.Fatalf("trace missing counter series %q (have %v)", want, counters)
+		}
+	}
+}
+
+// TestTimelineRejectedWithServer: -timeline rides inside the local
+// simulation contexts, so combining it with -server is a usage error.
+func TestTimelineRejectedWithServer(t *testing.T) {
+	var out, stderr bytes.Buffer
+	code := run(context.Background(), []string{"-server", "http://localhost:1", "-exp", "fig6", "-timeline", "x.json"}, &out, &stderr)
+	if code != 2 {
+		t.Fatalf("exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "-timeline is local-only") {
+		t.Fatalf("stderr: %s", stderr.String())
+	}
+}
+
+// TestSpansRequiresServer: -spans describes serving-layer stages, so a
+// local run rejects it.
+func TestSpansRequiresServer(t *testing.T) {
+	var out, stderr bytes.Buffer
+	code := run(context.Background(), []string{"-exp", "eq1", "-spans"}, &out, &stderr)
+	if code != 2 {
+		t.Fatalf("exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "-spans requires -server") {
+		t.Fatalf("stderr: %s", stderr.String())
+	}
+}
+
+// TestSpansRemoteText: a -server run with -spans prints the per-job
+// breakdowns and per-daemon aggregate after the results.
+func TestSpansRemoteText(t *testing.T) {
+	url := newDaemon(t)
+	var out, stderr bytes.Buffer
+	code := run(context.Background(), []string{"-server", url, "-exp", "eq1,table1", "-spans"}, &out, &stderr)
+	if code != 0 {
+		t.Fatalf("exited %d: %s", code, stderr.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "spans (trace ") {
+		t.Fatalf("stdout missing the spans section:\n%s", s)
+	}
+	for _, want := range []string{"eq1", "table1", "done ", url + ": 2 job(s)"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("spans section missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestSpansRemoteJSON: with -format json the spans wrap the results in
+// an envelope carrying the run's trace ID.
+func TestSpansRemoteJSON(t *testing.T) {
+	url := newDaemon(t)
+	var out, stderr bytes.Buffer
+	code := run(context.Background(), []string{"-server", url, "-exp", "eq1", "-format", "json", "-spans"}, &out, &stderr)
+	if code != 0 {
+		t.Fatalf("exited %d: %s", code, stderr.String())
+	}
+	var env struct {
+		Results []json.RawMessage `json:"results"`
+		TraceID string            `json:"traceId"`
+		Spans   []struct {
+			Exp    string `json:"exp"`
+			Daemon string `json:"daemon"`
+			Spans  struct {
+				TraceID string `json:"traceId"`
+				Stages  []struct {
+					Name  string  `json:"name"`
+					DurMs float64 `json:"durMs"`
+				} `json:"stages"`
+				TotalMs float64 `json:"totalMs"`
+			} `json:"spans"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &env); err != nil {
+		t.Fatalf("output is not the spans envelope: %v\n%s", err, out.String())
+	}
+	if len(env.Results) != 1 || len(env.Spans) != 1 || env.TraceID == "" {
+		t.Fatalf("envelope wrong: %d results, %d spans, trace %q", len(env.Results), len(env.Spans), env.TraceID)
+	}
+	sp := env.Spans[0]
+	if sp.Exp != "eq1" || sp.Daemon != url || sp.Spans.TraceID != env.TraceID {
+		t.Fatalf("span report wrong: %+v", sp)
+	}
+	var sum float64
+	for _, st := range sp.Spans.Stages {
+		sum += st.DurMs
+	}
+	if diff := sum - sp.Spans.TotalMs; diff > 0.01 || diff < -0.01 {
+		t.Fatalf("stages sum %.3f, total %.3f", sum, sp.Spans.TotalMs)
+	}
+}

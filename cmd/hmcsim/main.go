@@ -15,13 +15,25 @@
 // Usage:
 //
 //	hmcsim [-exp name[,name...]|all] [-quick] [-seed N] [-workers N]
-//	       [-format text|json] [-traffic spec] [-trace] [-list]
-//	       [-server URL[,URL...]] [-cpuprofile file] [-memprofile file]
+//	       [-format text|json] [-traffic spec] [-trace] [-timeline file]
+//	       [-spans] [-list] [-server URL[,URL...]]
+//	       [-cpuprofile file] [-memprofile file]
 //
 // -trace (local runs only) compiles per-component tracers into every
 // simulated system and dumps their aggregate summary — vault queue
 // occupancy, link utilization, NoC hops, host tag-pool pressure —
 // after the results (text) or as a "trace" field wrapping them (json).
+//
+// -timeline file (local runs only) additionally samples per-component
+// activity — vault accepts, link flits, NoC hops, host tag traffic —
+// over simulated time and writes the run's timeline as Chrome
+// trace_event JSON, loadable at https://ui.perfetto.dev.
+//
+// -spans (-server runs only) fetches each completed job's lifecycle
+// stage breakdown (received, queued, cache-check, running, marshal,
+// done) from its daemon and prints the per-job spans plus a per-daemon
+// aggregate after the results; every job in the run shares one trace
+// ID, also usable to correlate the daemons' /v1/flight records.
 package main
 
 import (
@@ -58,6 +70,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	format := fs.String("format", "text", "output format: text or json")
 	trafficSpec := fs.String("traffic", "", "synthetic traffic spec for the \"traffic\" experiment: a pattern name or a JSON TrafficSpec")
 	trace := fs.Bool("trace", false, "collect and dump per-component tracer summaries (local runs only)")
+	timeline := fs.String("timeline", "", "write a Chrome trace_event timeline of per-component activity to this file (local runs only)")
+	spans := fs.Bool("spans", false, "print per-job lifecycle spans and per-daemon aggregates (-server runs only)")
 	list := fs.Bool("list", false, "list registered experiments and exit")
 	server := fs.String("server", "", "comma-separated hmcsimd base URL(s); run remotely instead of simulating locally")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -151,12 +165,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "hmcsim: -trace is local-only; daemons expose aggregate metrics at /metrics instead")
 			return 2
 		}
-		return runRemote(ctx, fleet, names, o, *format, stdout, stderr)
+		if *timeline != "" {
+			// Same reasoning as -trace: the sampler rides inside the local
+			// simulation contexts and has no remote equivalent.
+			fmt.Fprintln(stderr, "hmcsim: -timeline is local-only; use -spans for per-job breakdowns of remote runs")
+			return 2
+		}
+		return runRemote(ctx, fleet, names, o, *format, *spans, stdout, stderr)
+	}
+	if *spans {
+		fmt.Fprintln(stderr, "hmcsim: -spans requires -server; local runs have no serving stages (use -trace or -timeline)")
+		return 2
 	}
 	if names == nil {
 		names = exp.Names()
 	}
-	return runLocal(ctx, names, o, *format, *trace, stdout, stderr)
+	return runLocal(ctx, names, o, *format, *trace, *timeline, stdout, stderr)
 }
 
 // parseTraffic turns the -traffic flag into a validated spec. The flag
@@ -207,8 +231,10 @@ func runList(ctx context.Context, fleet *service.Fleet, stdout, stderr io.Writer
 // runLocal simulates in this process, exactly the pre-daemon behavior.
 // With trace set, every system the experiments build carries
 // per-component tracers, and their aggregate summary prints after the
-// results (text) or wraps them as a "trace" field (json).
-func runLocal(ctx context.Context, names []string, o exp.Options, format string, trace bool, stdout, stderr io.Writer) int {
+// results (text) or wraps them as a "trace" field (json). With timeline
+// set, the systems additionally sample per-component activity over
+// simulated time, written as Chrome trace_event JSON after the run.
+func runLocal(ctx context.Context, names []string, o exp.Options, format string, trace bool, timeline string, stdout, stderr io.Writer) int {
 	// Resolve every name before running anything: a typo late in the
 	// list must fail fast, not discard minutes of completed sweeps.
 	for _, name := range names {
@@ -220,6 +246,27 @@ func runLocal(ctx context.Context, names []string, o exp.Options, format string,
 	var col *hmcsim.TraceCollector
 	if trace {
 		ctx, col = hmcsim.WithTrace(ctx)
+	}
+	var tlc *hmcsim.TimelineCollector
+	if timeline != "" {
+		// Fail on an unwritable path before simulating, not after.
+		f, err := os.Create(timeline)
+		if err != nil {
+			fmt.Fprintln(stderr, "hmcsim:", err)
+			return 2
+		}
+		ctx, tlc = hmcsim.WithTimeline(ctx)
+		defer func() {
+			err := tlc.WriteChromeTrace(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintln(stderr, "hmcsim: write timeline:", err)
+				return
+			}
+			fmt.Fprintf(stderr, "hmcsim: timeline written to %s (load it at https://ui.perfetto.dev)\n", timeline)
+		}()
 	}
 	var results []hmcsim.Result
 	for _, name := range names {
@@ -262,8 +309,10 @@ type tracedResults struct {
 // runRemote submits one spec per experiment to the daemon fleet in a
 // batch, which shards them across the daemons and keeps every remote
 // worker busy; results print in submission order. A nil names slice
-// means every experiment the fleet registers.
-func runRemote(ctx context.Context, fleet *service.Fleet, names []string, o exp.Options, format string, stdout, stderr io.Writer) int {
+// means every experiment the fleet registers. With spans set, every
+// job's lifecycle breakdown is fetched from its daemon as it completes
+// and printed — per job and aggregated per daemon — after the results.
+func runRemote(ctx context.Context, fleet *service.Fleet, names []string, o exp.Options, format string, spans bool, stdout, stderr io.Writer) int {
 	// Resolve every name against the fleet's registry before submitting
 	// anything, mirroring runLocal's fail-fast contract: a typo late in
 	// the list must not discard completed simulations.
@@ -291,6 +340,16 @@ func runRemote(ctx context.Context, fleet *service.Fleet, names []string, o exp.
 	specs := make([]hmcsim.Spec, len(names))
 	for i, name := range names {
 		specs[i] = hmcsim.Spec{Exp: name, Options: o}
+	}
+	var spanReports []spanReport
+	if spans {
+		// One trace ID for the whole run stamps every job it creates, so
+		// the daemons' span views and flight records correlate back to
+		// this invocation. OnSpans calls are serialized by the fleet.
+		fleet.TraceID = service.NewTraceID()
+		fleet.OnSpans = func(daemon string, spec hmcsim.Spec, sv service.SpanView) {
+			spanReports = append(spanReports, spanReport{Exp: spec.Exp, Daemon: daemon, Spans: sv})
+		}
 	}
 	if format == "text" {
 		// Batched runs complete out of order, so stdout keeps the
@@ -346,9 +405,76 @@ func runRemote(ctx context.Context, fleet *service.Fleet, names []string, o exp.
 		}
 	}
 	if format == "json" {
+		if spans {
+			return emitJSON(stdout, stderr, spannedResults{Results: results, TraceID: fleet.TraceID, Spans: spanReports})
+		}
 		return emitJSON(stdout, stderr, results)
 	}
+	if spans {
+		printSpans(stdout, fleet.TraceID, spanReports)
+	}
 	return 0
+}
+
+// spanReport pairs one remote job's span view with the experiment and
+// daemon it ran on, for the -spans rendering.
+type spanReport struct {
+	Exp    string           `json:"exp"`
+	Daemon string           `json:"daemon"`
+	Spans  service.SpanView `json:"spans"`
+}
+
+// spannedResults is the -format json envelope when -spans is on.
+type spannedResults struct {
+	Results []json.RawMessage `json:"results"`
+	TraceID string            `json:"traceId"`
+	Spans   []spanReport      `json:"spans"`
+}
+
+// printSpans renders the per-job breakdowns in completion order, then
+// aggregates them per daemon so a sharded run shows at a glance where
+// time went and which daemon served which share.
+func printSpans(stdout io.Writer, traceID string, reports []spanReport) {
+	fmt.Fprintf(stdout, "spans (trace %s):\n", traceID)
+	type agg struct {
+		daemon  string
+		jobs    int
+		cached  int
+		totalMs float64
+	}
+	var order []string
+	byDaemon := map[string]*agg{}
+	for _, r := range reports {
+		var b strings.Builder
+		for i, st := range r.Spans.Stages {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s %.1fms", st.Name, st.DurMs)
+		}
+		cached := ""
+		if r.Spans.Cached {
+			cached = " (cached)"
+		}
+		fmt.Fprintf(stdout, "  %-14s %s @ %s%s: total %.1fms: %s\n",
+			r.Exp, r.Spans.ID, r.Daemon, cached, r.Spans.TotalMs, b.String())
+		a := byDaemon[r.Daemon]
+		if a == nil {
+			a = &agg{daemon: r.Daemon}
+			byDaemon[r.Daemon] = a
+			order = append(order, r.Daemon)
+		}
+		a.jobs++
+		if r.Spans.Cached {
+			a.cached++
+		}
+		a.totalMs += r.Spans.TotalMs
+	}
+	for _, d := range order {
+		a := byDaemon[d]
+		fmt.Fprintf(stdout, "  %s: %d job(s), %d cached, %.1fms total latency\n",
+			a.daemon, a.jobs, a.cached, a.totalMs)
+	}
 }
 
 // jobOutcome renders how a remote job finished and how long it took,

@@ -42,6 +42,7 @@ import (
 
 	"hmcsim/internal/core"
 	"hmcsim/internal/host"
+	"hmcsim/internal/obs"
 	"hmcsim/internal/sim"
 )
 
@@ -131,6 +132,9 @@ const checkpointEvery = 8192
 //     simulation headway (events retired, simulated time advanced).
 //   - If ctx carries a WithTrace collector, the system is assembled
 //     with per-component tracers feeding that collector.
+//   - If ctx carries a WithTimeline collector, those tracers also
+//     record per-component activity over simulated time, for Chrome
+//     trace_event export.
 //
 // A background context with no sink and no collector yields a system
 // identical to NewSystem, with zero checkpoint overhead.
@@ -139,7 +143,19 @@ func (o Options) NewSystemCtx(ctx context.Context) *System {
 	if o.Seed != 0 {
 		cfg.Seed = o.Seed
 	}
-	if tc := collectorFrom(ctx); tc != nil {
+	tc := collectorFrom(ctx)
+	tlc := timelineFrom(ctx)
+	switch {
+	case tlc != nil:
+		// One SystemTracer can serve both collectors; the timeline
+		// collector owns it so trace summaries stay unchanged.
+		st := tlc.col.NewSystem()
+		st.EnableTimeline(obs.NewTimeline(0))
+		if tc != nil {
+			tc.col.Register(st)
+		}
+		cfg.Trace = st
+	case tc != nil:
 		cfg.Trace = tc.col.NewSystem()
 	}
 	sys := NewSystem(cfg)

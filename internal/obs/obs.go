@@ -127,6 +127,12 @@ type VaultTracer struct {
 	Accepts   uint64 // transactions admitted into the controller
 	Rejects   uint64 // back-pressure rejections at the input buffer
 	Occupancy Hist   // requests waiting in the controller, sampled per accept
+
+	// Timeline tracks, attached only when the owning SystemTracer has a
+	// timeline enabled; nil otherwise, costing the hooks one branch.
+	tl  *TimelineTrack // accepts over sim-time
+	tlR *TimelineTrack // rejects over sim-time (shared across vaults)
+	now func() int64
 }
 
 // OnAccept records an admission at the given controller occupancy
@@ -137,6 +143,9 @@ func (t *VaultTracer) OnAccept(occupancy int) {
 	}
 	t.Accepts++
 	t.Occupancy.Observe(occupancy)
+	if t.tl != nil {
+		t.tl.Add(t.now(), 1)
+	}
 }
 
 // OnReject records a full-input-buffer rejection. No-op on nil.
@@ -145,6 +154,9 @@ func (t *VaultTracer) OnReject() {
 		return
 	}
 	t.Rejects++
+	if t.tlR != nil {
+		t.tlR.Add(t.now(), 1)
+	}
 }
 
 // LinkTracer observes one direction of a serial link.
@@ -153,6 +165,9 @@ type LinkTracer struct {
 	Flits   uint64
 	Retries uint64
 	BusyPs  int64 // serializer-occupied simulated time
+
+	tl  *TimelineTrack // flits over sim-time, when a timeline is enabled
+	now func() int64
 }
 
 // OnTx records a successfully serialized packet and the serializer
@@ -164,6 +179,9 @@ func (t *LinkTracer) OnTx(flits int, serPs int64) {
 	t.Packets++
 	t.Flits += uint64(flits)
 	t.BusyPs += serPs
+	if t.tl != nil {
+		t.tl.Add(t.now(), uint64(flits))
+	}
 }
 
 // OnRetry records a CRC-triggered retransmission; the corrupted pass
@@ -182,6 +200,9 @@ func (t *LinkTracer) OnRetry(serPs int64) {
 type NoCTracer struct {
 	Hops  uint64 // router admissions (each is one hop of a message's path)
 	Queue Hist   // router occupancy sampled at each admission
+
+	tl  *TimelineTrack // hops over sim-time, when a timeline is enabled
+	now func() int64
 }
 
 // OnHop records one router admission at the given router occupancy.
@@ -192,6 +213,9 @@ func (t *NoCTracer) OnHop(queued int) {
 	}
 	t.Hops++
 	t.Queue.Observe(queued)
+	if t.tl != nil {
+		t.tl.Add(t.now(), 1)
+	}
 }
 
 // HostTracer observes the FPGA-side tag pools that bound outstanding
@@ -200,6 +224,10 @@ type HostTracer struct {
 	TagTakes    uint64 // successful tag acquisitions
 	TagWaits    uint64 // issue attempts blocked on an empty pool
 	Outstanding Hist   // outstanding tags sampled per acquisition
+
+	tl  *TimelineTrack // tag takes over sim-time, when a timeline is enabled
+	tlW *TimelineTrack // tag waits over sim-time
+	now func() int64
 }
 
 // OnTagTake records a successful acquisition with the pool's resulting
@@ -210,6 +238,9 @@ func (t *HostTracer) OnTagTake(outstanding int) {
 	}
 	t.TagTakes++
 	t.Outstanding.Observe(outstanding)
+	if t.tl != nil {
+		t.tl.Add(t.now(), 1)
+	}
 }
 
 // OnTagWait records an issue attempt that found the pool empty. No-op
@@ -219,6 +250,9 @@ func (t *HostTracer) OnTagWait() {
 		return
 	}
 	t.TagWaits++
+	if t.tlW != nil {
+		t.tlW.Add(t.now(), 1)
+	}
 }
 
 // SystemTracer aggregates the component tracers of one System. All of
@@ -231,17 +265,64 @@ type SystemTracer struct {
 	NoC    NoCTracer
 	Host   HostTracer
 
-	now func() int64 // the owning engine's clock, for utilization windows
+	now      func() int64 // the owning engine's clock, for utilization windows
+	timeline *Timeline    // optional time-resolved activity series
 }
 
+// EnableTimeline attaches a timeline; component tracers created (or
+// clocked) afterwards record their activity into per-component tracks.
+// Call before the system is constructed — i.e. before SetClock runs.
+func (t *SystemTracer) EnableTimeline(tl *Timeline) {
+	t.timeline = tl
+}
+
+// Timeline returns the attached timeline, nil when disabled.
+func (t *SystemTracer) Timeline() *Timeline { return t.timeline }
+
 // SetClock installs the owning engine's clock; the collector reads it
-// once per summary as the utilization window.
-func (t *SystemTracer) SetClock(fn func() int64) { t.now = fn }
+// once per summary as the utilization window, and an enabled timeline
+// uses it to place samples on the sim-time axis.
+func (t *SystemTracer) SetClock(fn func() int64) {
+	t.now = fn
+	if t.timeline == nil {
+		return
+	}
+	t.NoC.now = fn
+	t.NoC.tl = t.timeline.Track("noc hops")
+	t.Host.now = fn
+	t.Host.tl = t.timeline.Track("host tags")
+	t.Host.tlW = t.timeline.Track("host tag waits")
+	for id, vt := range t.vaults {
+		t.attachVault(id, vt)
+	}
+	for i, lt := range t.links {
+		t.attachLink(t.names[i], lt)
+	}
+}
+
+func (t *SystemTracer) attachVault(id int, vt *VaultTracer) {
+	if t.timeline == nil || t.now == nil {
+		return
+	}
+	vt.now = t.now
+	vt.tl = t.timeline.Track(fmt.Sprintf("vault %d", id))
+	vt.tlR = t.timeline.Track("vault rejects")
+}
+
+func (t *SystemTracer) attachLink(name string, lt *LinkTracer) {
+	if t.timeline == nil || t.now == nil {
+		return
+	}
+	lt.now = t.now
+	lt.tl = t.timeline.Track(name + " flits")
+}
 
 // Vault returns (growing on demand) the tracer for vault id.
 func (t *SystemTracer) Vault(id int) *VaultTracer {
 	for len(t.vaults) <= id {
-		t.vaults = append(t.vaults, &VaultTracer{})
+		vt := &VaultTracer{}
+		t.attachVault(len(t.vaults), vt)
+		t.vaults = append(t.vaults, vt)
 	}
 	return t.vaults[id]
 }
@@ -255,6 +336,7 @@ func (t *SystemTracer) Link(name string) *LinkTracer {
 		}
 	}
 	lt := &LinkTracer{}
+	t.attachLink(name, lt)
 	t.links = append(t.links, lt)
 	t.names = append(t.names, name)
 	return lt
@@ -271,10 +353,18 @@ type Collector struct {
 // call from concurrent sweep workers.
 func (c *Collector) NewSystem() *SystemTracer {
 	t := &SystemTracer{}
+	c.Register(t)
+	return t
+}
+
+// Register adds an externally built tracer, letting one system report
+// into several collectors (e.g. a summary collector and a timeline
+// collector on the same run). Safe to call from concurrent sweep
+// workers.
+func (c *Collector) Register(t *SystemTracer) {
 	c.mu.Lock()
 	c.systems = append(c.systems, t)
 	c.mu.Unlock()
-	return t
 }
 
 // Systems returns how many systems have registered.

@@ -47,6 +47,96 @@ func TestHistClampAndMerge(t *testing.T) {
 	}
 }
 
+// TestHistObserveZero: the zero value is its own bucket, distinct from
+// [1,2), and feeds Count but not Sum.
+func TestHistObserveZero(t *testing.T) {
+	var h Hist
+	h.Observe(0)
+	h.Observe(0)
+	if h.Count != 2 || h.Sum != 0 || h.Max != 0 {
+		t.Fatalf("count=%d sum=%d max=%d, want 2/0/0", h.Count, h.Sum, h.Max)
+	}
+	if h.Buckets[0] != 2 {
+		t.Fatalf("bucket 0 = %d, want 2", h.Buckets[0])
+	}
+	for i := 1; i < histBuckets; i++ {
+		if h.Buckets[i] != 0 {
+			t.Fatalf("bucket %d = %d, want 0", i, h.Buckets[i])
+		}
+	}
+	s := h.Summarize()
+	if len(s.Buckets) != 1 || s.Buckets[0].Le != "0" {
+		t.Fatalf("summary buckets = %+v, want one le=0 bucket", s.Buckets)
+	}
+}
+
+// TestHistClampTopBucket: every value at or past the last labeled bound
+// lands in the open-ended +Inf bucket, never out of range.
+func TestHistClampTopBucket(t *testing.T) {
+	top := uint64(1) << (histBuckets - 2) // first value past the last labeled bound
+	var h Hist
+	for _, v := range []int{int(top) - 1, int(top), int(top) * 2, 1 << 62} {
+		h.Observe(v)
+	}
+	if h.Buckets[histBuckets-2] != 1 {
+		t.Fatalf("value %d should land in the last labeled bucket: %v", top-1, h.Buckets)
+	}
+	if h.Buckets[histBuckets-1] != 3 {
+		t.Fatalf("top bucket = %d, want 3 clamped values: %v", h.Buckets[histBuckets-1], h.Buckets)
+	}
+	if h.Max != 1<<62 {
+		t.Fatalf("max = %d, want %d", h.Max, uint64(1)<<62)
+	}
+}
+
+// TestHistMergeDifferingMax: Merge keeps the larger Max regardless of
+// which side holds it, and is not commutative-sensitive for the counts.
+func TestHistMergeDifferingMax(t *testing.T) {
+	var small, big Hist
+	small.Observe(2)
+	big.Observe(500)
+
+	a := small // copy, merge big into small
+	a.Merge(&big)
+	if a.Max != 500 {
+		t.Fatalf("merge(small<-big) max = %d, want 500", a.Max)
+	}
+	b := big // copy, merge small into big: Max must survive
+	b.Merge(&small)
+	if b.Max != 500 {
+		t.Fatalf("merge(big<-small) max = %d, want 500", b.Max)
+	}
+	if a.Count != 2 || b.Count != 2 || a.Sum != 502 || b.Sum != 502 {
+		t.Fatalf("merged counts/sums differ: a=%+v b=%+v", a, b)
+	}
+	for i := range a.Buckets {
+		if a.Buckets[i] != b.Buckets[i] {
+			t.Fatalf("bucket %d differs by merge order: %d vs %d", i, a.Buckets[i], b.Buckets[i])
+		}
+	}
+}
+
+// TestBucketLabelBoundaries pins the label scheme: inclusive upper
+// bounds 0, 1, 3, 7, ... with +Inf on the open-ended last bucket, and
+// out-of-range indices clamped to the nearest end.
+func TestBucketLabelBoundaries(t *testing.T) {
+	cases := map[int]string{
+		-1:              "0", // clamped low
+		0:               "0",
+		1:               "1",
+		2:               "3",
+		3:               "7",
+		histBuckets - 2: "32767",
+		histBuckets - 1: "+Inf",
+		histBuckets:     "+Inf", // clamped high
+	}
+	for i, want := range cases {
+		if got := BucketLabel(i); got != want {
+			t.Errorf("BucketLabel(%d) = %q, want %q", i, got, want)
+		}
+	}
+}
+
 // TestNilTracersAreNoOps is the zero-cost-when-off contract: every hook
 // must be safe and allocation-free on a nil receiver, because components
 // call them unconditionally on possibly-nil pointers.

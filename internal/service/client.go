@@ -24,6 +24,10 @@ type Client struct {
 	// 30-second per-request timeout so an unresponsive daemon surfaces
 	// as an error (set HTTP to http.DefaultClient for no deadline).
 	HTTP *http.Client
+	// TraceID, when set, is sent as the X-Hmcsim-Trace-Id header on
+	// every submission, correlating the jobs this client creates in
+	// span views and flight records.
+	TraceID string
 }
 
 // defaultHTTPClient bounds every request so a blackholed daemon — one
@@ -104,6 +108,9 @@ func (c *Client) doCapped(ctx context.Context, method, path string, body, out an
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.TraceID != "" && method == http.MethodPost {
+		req.Header.Set(TraceHeader, c.TraceID)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
@@ -286,6 +293,21 @@ func (c *Client) CancelOrphan(id string) error {
 	defer cancel()
 	_, err := c.Cancel(ctx, id)
 	return err
+}
+
+// Spans fetches a job's lifecycle stage breakdown.
+func (c *Client) Spans(ctx context.Context, id string) (SpanView, error) {
+	var v SpanView
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/spans", nil, &v)
+	return v, err
+}
+
+// Flight fetches the daemon's flight recorder: the last N completed
+// job records with their stage durations and latency histograms.
+func (c *Client) Flight(ctx context.Context) (FlightView, error) {
+	var v FlightView
+	err := c.doCapped(ctx, http.MethodGet, "/v1/flight", nil, &v, maxViewBytes)
+	return v, err
 }
 
 // Experiments lists the daemon's registry.

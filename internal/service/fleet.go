@@ -53,6 +53,16 @@ type Fleet struct {
 	// cannot stream, that job falls back to polling silently. Calls are
 	// serialized with Logf and OnDone.
 	OnProgress func(spec hmcsim.Spec, p JobProgress)
+	// TraceID, when set, is propagated on every submission the fleet
+	// makes (via the X-Hmcsim-Trace-Id header) so daemons stamp it on
+	// the run's jobs. Empty means each Run generates its own ID, so one
+	// run's jobs are always correlatable across daemons.
+	TraceID string
+	// OnSpans, when set, receives each successfully completed job's
+	// lifecycle stage breakdown, fetched from the daemon that ran it.
+	// daemon is that daemon's base URL. Calls are serialized with Logf,
+	// OnDone and OnProgress.
+	OnSpans func(daemon string, spec hmcsim.Spec, sv SpanView)
 
 	// logMu serializes Logf/OnDone calls from concurrent
 	// dispatchers/pollers.
@@ -145,6 +155,7 @@ type fleetRun struct {
 	pending   chan fleetItem // items awaiting a daemon; cap len(specs)
 	remaining atomic.Int64   // unique specs not yet terminal
 	live      atomic.Int64   // daemons still serving this run
+	traceID   string         // stamped on every submission of this run
 
 	done  chan struct{} // closed when remaining reaches zero
 	fatal chan struct{} // closed on the first unrecoverable error
@@ -194,6 +205,10 @@ func (f *Fleet) Run(ctx context.Context, specs []hmcsim.Spec) ([]JobView, error)
 		pending: make(chan fleetItem, len(uniq)),
 		done:    make(chan struct{}),
 		fatal:   make(chan struct{}),
+		traceID: f.TraceID,
+	}
+	if r.traceID == "" {
+		r.traceID = NewTraceID()
 	}
 	r.remaining.Store(int64(len(uniq)))
 	r.live.Store(int64(len(f.Clients)))
@@ -300,6 +315,10 @@ type pollResult struct {
 // of the run: its unfinished items requeue for the surviving peers.
 func (r *fleetRun) daemon(ctx context.Context, c *Client) {
 	maxIn := r.f.maxInflight()
+	// Submissions go through a shallow copy carrying the run's trace ID,
+	// so concurrent runs over shared clients never race on the field.
+	submitC := *c
+	submitC.TraceID = r.traceID
 	resc := make(chan pollResult, maxIn) // buffered: pollers never block
 	inflight := 0
 	// batchCap shrinks after a queue-full rejection so a daemon with a
@@ -364,7 +383,7 @@ func (r *fleetRun) daemon(ctx context.Context, c *Client) {
 			for i, it := range batch {
 				specs[i] = r.specs[it.idx]
 			}
-			views, err := c.SubmitBatch(ctx, specs)
+			views, err := submitC.SubmitBatch(ctx, specs)
 			if err != nil {
 				if r.submitFailed(ctx, c, batch, err, die) {
 					batchCap = max(1, len(batch)/2)
@@ -494,6 +513,7 @@ func (r *fleetRun) settle(ctx context.Context, c *Client, pr pollResult, die fun
 	}
 	switch pr.view.State {
 	case StateDone:
+		r.reportSpans(c, pr)
 		r.finish(pr.it, pr.view)
 	case StateFailed:
 		if pr.view.ErrorCode == codeQueueFull {
@@ -509,6 +529,26 @@ func (r *fleetRun) settle(ctx context.Context, c *Client, pr pollResult, die fun
 	default: // canceled server-side
 		r.fail(fmt.Errorf("experiment %q canceled on %s", r.specs[pr.it.idx].Exp, c.Base))
 	}
+}
+
+// reportSpans fetches a completed job's stage breakdown for the OnSpans
+// callback. Detached short-timeout context: the run's context may be
+// winding down by the time the last job settles, and spans are
+// diagnostics — a failed fetch logs rather than failing anything over.
+func (r *fleetRun) reportSpans(c *Client, pr pollResult) {
+	if r.f.OnSpans == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	sv, err := c.Spans(ctx, pr.view.ID)
+	if err != nil {
+		r.f.logf("could not fetch spans for job %s on %s: %v", pr.view.ID, c.Base, err)
+		return
+	}
+	r.f.logMu.Lock()
+	r.f.OnSpans(c.Base, r.specs[pr.it.idx], sv)
+	r.f.logMu.Unlock()
 }
 
 // poll waits one job to a terminal state. Abandoning a non-terminal

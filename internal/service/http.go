@@ -51,18 +51,30 @@ func errorCode(err error) string {
 //	GET    /v1/jobs/{id}/progress
 //	                       live progress as Server-Sent Events, ending
 //	                       with the terminal event
+//	GET    /v1/jobs/{id}/spans
+//	                       the job's lifecycle stage breakdown (received,
+//	                       queued, cache-check, running, marshal, done)
 //	DELETE /v1/jobs/{id}   cancel a queued or running job
+//	GET    /v1/flight      flight recorder: the last N completed job
+//	                       records with stage durations and latency
+//	                       histograms
 //	GET    /v1/experiments the experiment registry
 //	GET    /v1/stats       queue, worker, job and cache statistics
 //	GET    /v1/healthz     liveness probe
 //	GET    /metrics        Prometheus text exposition
+//
+// Submissions may carry an X-Hmcsim-Trace-Id header; the ID is stamped
+// on every job the request creates and echoed in span views and flight
+// records, correlating one logical run across daemons.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/progress", s.handleProgress)
+	mux.HandleFunc("GET /v1/jobs/{id}/spans", s.handleSpans)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/flight", s.handleFlight)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
@@ -92,7 +104,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	j, err := s.Submit(spec)
+	j, err := s.SubmitTraced(spec, r.Header.Get(TraceHeader))
 	switch {
 	case errors.Is(err, errQueueFull), errors.Is(err, errClosed):
 		writeError(w, http.StatusServiceUnavailable, err)
@@ -125,7 +137,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	jobs, err := s.SubmitBatch(specs)
+	jobs, err := s.SubmitBatchTraced(specs, r.Header.Get(TraceHeader))
 	switch {
 	case errors.Is(err, errQueueFull), errors.Is(err, errClosed):
 		writeError(w, http.StatusServiceUnavailable, err)
@@ -156,6 +168,19 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, j.View())
+}
+
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Spans())
+}
+
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.flight.snapshot())
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {

@@ -60,6 +60,15 @@ type Job struct {
 	submitted time.Time
 	finished  time.Time
 
+	// traceID correlates the job with the submission that created it;
+	// marks are the span timestamps; worker is the pool index that ran
+	// the job (-1 when none did); record, when set, receives the job's
+	// flight record at the terminal transition.
+	traceID string
+	worker  int
+	marks   spanMarks
+	record  func(FlightRecord)
+
 	// prog is the latest live-progress snapshot from the running sweep;
 	// watchers are progress streams (SSE handlers), each a capacity-1
 	// latest-value channel so a slow consumer only coarsens its own
@@ -227,9 +236,10 @@ func (j *Job) finishedAt() time.Time {
 	return j.finished
 }
 
-// startRunning moves queued → running; it fails when the job was
-// canceled (or its context expired) while waiting in the queue.
-func (j *Job) startRunning() bool {
+// startRunning moves queued → running on the given pool worker; it
+// fails when the job was canceled (or its context expired) while
+// waiting in the queue.
+func (j *Job) startRunning(worker int) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state != StateQueued {
@@ -240,6 +250,8 @@ func (j *Job) startRunning() bool {
 		return false
 	}
 	j.state = StateRunning
+	j.worker = worker
+	j.marks.runStart = time.Now()
 	return true
 }
 
@@ -259,6 +271,36 @@ func (j *Job) finishLocked(s State) {
 	j.cancel() // release the context's resources
 	close(j.done)
 	j.notifyLocked() // terminal progress event, never dropped by new sends
+	if j.record != nil {
+		j.record(j.flightRecordLocked())
+	}
+}
+
+// flightRecordLocked assembles the job's flight record from its span
+// marks; the Slow flag is stamped by the recorder.
+func (j *Job) flightRecordLocked() FlightRecord {
+	r := FlightRecord{
+		ID:         j.id,
+		Exp:        j.spec.Exp,
+		Key:        j.key,
+		TraceID:    j.traceID,
+		State:      j.state,
+		Cached:     j.cached,
+		Worker:     j.worker,
+		Error:      j.err,
+		TotalMs:    msBetween(j.marks.received, j.finished),
+		FinishedAt: j.finished,
+	}
+	m := &j.marks
+	if !m.runStart.IsZero() {
+		r.QueueMs = msBetween(m.queued, m.runStart)
+		end := m.runEnd
+		if end.IsZero() {
+			end = j.finished
+		}
+		r.RunMs = msBetween(m.runStart, end)
+	}
+	return r
 }
 
 // complete records a successful outcome. cached marks results served

@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+
+	"hmcsim/internal/obs"
 )
 
 // handleMetrics serves GET /metrics in the Prometheus text exposition
@@ -21,6 +23,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	counter := func(name, help string, v float64) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+	}
+	// histogram renders an obs.Hist as a real Prometheus histogram:
+	// cumulative _bucket series under the hist's power-of-two bounds,
+	// plus _sum and _count. Every bucket is emitted (zeros included) so
+	// quantile queries see a stable le set.
+	histogram := func(name, help string, h obs.Hist) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		var cum uint64
+		for i := range h.Buckets {
+			cum += h.Buckets[i]
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, obs.BucketLabel(i), cum)
+		}
+		fmt.Fprintf(&b, "%s_sum %d\n%s_count %d\n", name, h.Sum, name, h.Count)
 	}
 
 	fmt.Fprintf(&b, "# HELP hmcsim_build_info Build version as a label.\n"+
@@ -79,6 +94,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("hmcsim_sim_events_total", "Engine events retired across all jobs.", float64(st.SimEvents))
 	counter("hmcsim_sim_time_seconds_total", "Simulated time advanced across all jobs.", st.SimTimeMs/1000)
 	counter("hmcsim_sweep_points_total", "Sweep points completed across all jobs.", float64(st.SweepPoints))
+
+	queueWait, latency, slow := s.flight.hists()
+	histogram("hmcsim_job_queue_wait_ms", "Milliseconds jobs waited for a worker.", queueWait)
+	histogram("hmcsim_job_latency_ms", "End-to-end job latency in milliseconds, admission to terminal.", latency)
+	counter("hmcsim_jobs_slow_total", "Completed jobs past the slow-job threshold.", float64(slow))
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write([]byte(b.String())) //nolint:errcheck // nothing to do for a gone client

@@ -51,6 +51,13 @@ type Config struct {
 	// by up to one retention window of traffic). 0 means 30s; negative
 	// disables retention and prunes strictly at MaxJobs.
 	Retain time.Duration
+	// FlightEntries bounds the flight recorder: the ring of the last N
+	// completed job records served at GET /v1/flight. <= 0 means 128.
+	FlightEntries int
+	// SlowJob is the latency threshold past which a completed job is
+	// flagged slow in the flight recorder. 0 means 10s; negative
+	// disables slow marking.
+	SlowJob time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -72,6 +79,15 @@ func (c Config) withDefaults() Config {
 	case c.Retain < 0:
 		c.Retain = 0
 	}
+	if c.FlightEntries <= 0 {
+		c.FlightEntries = 128
+	}
+	switch {
+	case c.SlowJob == 0:
+		c.SlowJob = 10 * time.Second
+	case c.SlowJob < 0:
+		c.SlowJob = 0
+	}
 	return c
 }
 
@@ -81,6 +97,7 @@ type Server struct {
 	runners map[string]hmcsim.Runner
 	names   []string // registration order, for GET /v1/experiments
 	cache   *Cache
+	flight  *flightRecorder
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -127,6 +144,7 @@ func New(cfg Config, runners []hmcsim.Runner) *Server {
 		cfg:      cfg,
 		runners:  make(map[string]hmcsim.Runner, len(runners)),
 		cache:    NewCache(cfg.CacheEntries),
+		flight:   newFlightRecorder(cfg.FlightEntries, cfg.SlowJob),
 		baseCtx:  ctx,
 		stop:     cancel,
 		queue:    make(chan *Job, cfg.QueueDepth),
@@ -185,7 +203,7 @@ func (s *Server) worker(i int) {
 	st := &s.workers[i]
 	for job := range s.queue {
 		st.since.Store(time.Now().UnixNano())
-		s.runJob(job)
+		s.runJob(job, i)
 		st.busyNs.Add(time.Now().UnixNano() - st.since.Swap(0))
 		st.jobs.Add(1)
 		s.clearInflight(job)
@@ -202,9 +220,9 @@ func (s *Server) clearInflight(j *Job) {
 	}
 }
 
-// runJob executes one dequeued job on this worker's goroutine.
-func (s *Server) runJob(j *Job) {
-	if !j.startRunning() {
+// runJob executes one dequeued job on the given worker's goroutine.
+func (s *Server) runJob(j *Job, worker int) {
+	if !j.startRunning(worker) {
 		return // canceled while queued
 	}
 	// An identical spec may have completed while this one waited, so
@@ -213,6 +231,7 @@ func (s *Server) runJob(j *Job) {
 		j.completeFromCache(blob)
 		return
 	}
+	j.markCacheDone()
 	if n := s.running.Add(1); n > s.runningPeak.Load() {
 		// Racy read-then-CAS keeps the peak monotone without a lock.
 		for {
@@ -238,6 +257,7 @@ func (s *Server) runJob(j *Job) {
 		j.setProgress(p)
 	})
 	res, err := runSafely(pctx, runner, o)
+	j.markRunEnd()
 	switch {
 	case j.ctx.Err() != nil:
 		// The sweep returned early with partial data; discard it.
@@ -246,6 +266,7 @@ func (s *Server) runJob(j *Job) {
 		j.fail(err.Error())
 	default:
 		blob, o, err := encodeOutcome(res)
+		j.markMarshalEnd()
 		if err != nil {
 			j.fail(fmt.Sprintf("encode result: %v", err))
 			return
@@ -282,6 +303,7 @@ func encodeOutcome(res hmcsim.Result) ([]byte, outcome, error) {
 
 // completeFromCache finishes a job with previously cached bytes.
 func (j *Job) completeFromCache(blob []byte) {
+	j.markCacheDone()
 	var o outcome
 	if err := json.Unmarshal(blob, &o); err != nil {
 		j.fail(fmt.Sprintf("decode cached outcome: %v", err))
@@ -307,7 +329,13 @@ func (c *Cache) peek(key string) ([]byte, bool) {
 // otherwise enqueues it for the worker pool. The returned job is
 // already terminal for cache hits.
 func (s *Server) Submit(spec hmcsim.Spec) (*Job, error) {
-	jobs, err := s.submit([]hmcsim.Spec{spec})
+	return s.SubmitTraced(spec, "")
+}
+
+// SubmitTraced is Submit with a trace ID stamped on the created job,
+// for cross-daemon correlation in span views and the flight recorder.
+func (s *Server) SubmitTraced(spec hmcsim.Spec, traceID string) (*Job, error) {
+	jobs, err := s.submit([]hmcsim.Spec{spec}, traceID)
 	if err != nil {
 		return nil, err
 	}
@@ -328,13 +356,19 @@ const MaxBatchSpecs = 4096
 // queue-full error and no job is created. Returned jobs are in
 // submission order.
 func (s *Server) SubmitBatch(specs []hmcsim.Spec) ([]*Job, error) {
+	return s.SubmitBatchTraced(specs, "")
+}
+
+// SubmitBatchTraced is SubmitBatch with a trace ID stamped on every job
+// the batch creates.
+func (s *Server) SubmitBatchTraced(specs []hmcsim.Spec, traceID string) ([]*Job, error) {
 	if len(specs) == 0 {
 		return nil, errors.New("empty batch")
 	}
 	if len(specs) > MaxBatchSpecs {
 		return nil, fmt.Errorf("batch of %d specs exceeds the %d-spec limit; split the submission", len(specs), MaxBatchSpecs)
 	}
-	jobs, err := s.submit(specs)
+	jobs, err := s.submit(specs, traceID)
 	if err == nil {
 		s.batches.Add(1)
 		s.batchSpecs.Add(uint64(len(specs)))
@@ -352,7 +386,9 @@ func specErr(n, i int, err error) error {
 }
 
 // submit is the shared admission path behind Submit and SubmitBatch.
-func (s *Server) submit(specs []hmcsim.Spec) ([]*Job, error) {
+func (s *Server) submit(specs []hmcsim.Spec, traceID string) ([]*Job, error) {
+	received := time.Now() // anchors every created job's span breakdown
+	traceID = clampTraceID(traceID)
 	// Validate everything before admitting anything: a bad spec late in
 	// a batch must not leave the earlier ones running.
 	keys := make([]string, len(specs))
@@ -453,18 +489,24 @@ func (s *Server) submit(specs []hmcsim.Spec) ([]*Job, error) {
 		s.seq++
 		ctx, cancel := context.WithCancel(s.baseCtx)
 		j := &Job{
-			id:     fmt.Sprintf("j%06d", s.seq),
-			spec:   spec,
-			key:    keys[i],
-			ctx:    ctx,
-			cancel: cancel,
-			state:  StateQueued,
-			done:   make(chan struct{}),
+			id:      fmt.Sprintf("j%06d", s.seq),
+			spec:    spec,
+			key:     keys[i],
+			ctx:     ctx,
+			cancel:  cancel,
+			state:   StateQueued,
+			done:    make(chan struct{}),
+			traceID: traceID,
+			worker:  -1,
+			record:  s.flight.add,
 		}
-		j.submitted = time.Now()
+		j.submitted = received
+		j.marks.received = received
+		j.marks.queued = time.Now()
 		jobs[i] = j
 		switch disp[i] {
 		case dispHit:
+			j.markCacheDone()
 			j.complete(*hits[i], true)
 			s.insertLocked(j)
 		case dispAdoptTwin:

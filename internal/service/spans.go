@@ -1,0 +1,156 @@
+package service
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"time"
+)
+
+// TraceHeader carries a client-chosen trace ID on submissions; the
+// server stamps it on every job the request creates, so one fleet run's
+// jobs can be correlated across daemons from their span views.
+const TraceHeader = "X-Hmcsim-Trace-Id"
+
+// maxTraceID bounds stored trace IDs; longer ones are truncated rather
+// than rejected, since the ID is an opaque correlation token.
+const maxTraceID = 64
+
+// NewTraceID returns a fresh 16-hex-digit trace ID.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("t%015x", time.Now().UnixNano()&(1<<60-1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+func clampTraceID(id string) string {
+	if len(id) > maxTraceID {
+		return id[:maxTraceID]
+	}
+	return id
+}
+
+// spanMarks are the monotonic lifecycle timestamps a job accumulates on
+// its way through the serving layer. Zero marks mean the job skipped
+// that stage (e.g. a submission-time cache hit never starts running).
+type spanMarks struct {
+	received   time.Time // request admission began
+	queued     time.Time // job record created, queue slot decided
+	runStart   time.Time // a worker picked the job up
+	cacheDone  time.Time // the worker's (or submit path's) cache check ended
+	runEnd     time.Time // the simulation returned
+	marshalEnd time.Time // the result finished encoding
+}
+
+// SpanStage is one contiguous lifecycle stage; StartMs is relative to
+// the job's admission, so stages tile the job's total latency.
+type SpanStage struct {
+	Name    string  `json:"name"`
+	StartMs float64 `json:"startMs"`
+	DurMs   float64 `json:"durMs"`
+}
+
+// SpanView is the GET /v1/jobs/{id}/spans payload: the job's stage
+// breakdown. For terminal jobs the stage durations sum exactly to
+// TotalMs, the observed end-to-end latency.
+type SpanView struct {
+	ID      string `json:"id"`
+	TraceID string `json:"traceId,omitempty"`
+	State   State  `json:"state"`
+	Cached  bool   `json:"cached"`
+	// Worker is the pool index that ran the job, -1 when no worker did
+	// (cache hits, jobs canceled while queued).
+	Worker  int         `json:"worker"`
+	Stages  []SpanStage `json:"stages"`
+	TotalMs float64     `json:"totalMs"`
+}
+
+func msBetween(a, b time.Time) float64 {
+	return float64(b.Sub(a).Microseconds()) / 1000
+}
+
+// Spans snapshots the job's stage breakdown. Each recorded mark closes
+// the stage that led to it; unreached stages are omitted, so the
+// emitted stages are contiguous and sum to the job's elapsed time.
+func (j *Job) Spans() SpanView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := SpanView{
+		ID:      j.id,
+		TraceID: j.traceID,
+		State:   j.state,
+		Cached:  j.cached,
+		Worker:  j.worker,
+	}
+	m := &j.marks
+	end := j.finished
+	if end.IsZero() {
+		end = time.Now() // live job: TotalMs is elapsed-so-far
+	}
+	// Each pair is (closing mark, name of the stage it ends), in
+	// lifecycle order.
+	points := []struct {
+		at   time.Time
+		name string
+	}{
+		{m.queued, "received"},
+		{m.runStart, "queued"},
+		{m.cacheDone, "cache-check"},
+		{m.runEnd, "running"},
+		{m.marshalEnd, "marshal"},
+	}
+	prev := m.received
+	for _, p := range points {
+		if p.at.IsZero() || p.at.Before(prev) {
+			continue
+		}
+		v.Stages = append(v.Stages, SpanStage{
+			Name:    p.name,
+			StartMs: msBetween(m.received, prev),
+			DurMs:   msBetween(prev, p.at),
+		})
+		prev = p.at
+	}
+	// The terminal transition closes the final "done" stage; live jobs
+	// stop at their last recorded mark, so stages of a terminal job
+	// always tile [0, TotalMs] exactly.
+	if !j.finished.IsZero() {
+		v.Stages = append(v.Stages, SpanStage{
+			Name:    "done",
+			StartMs: msBetween(m.received, prev),
+			DurMs:   msBetween(prev, end),
+		})
+	}
+	v.TotalMs = msBetween(m.received, end)
+	return v
+}
+
+// markCacheDone records the end of the job's cache check; idempotent,
+// so the submit-path and worker-path checks cannot double-stamp.
+func (j *Job) markCacheDone() {
+	j.mu.Lock()
+	if j.marks.cacheDone.IsZero() {
+		j.marks.cacheDone = time.Now()
+	}
+	j.mu.Unlock()
+}
+
+// markRunEnd records the simulation returning, idempotent.
+func (j *Job) markRunEnd() {
+	j.mu.Lock()
+	if j.marks.runEnd.IsZero() {
+		j.marks.runEnd = time.Now()
+	}
+	j.mu.Unlock()
+}
+
+// markMarshalEnd records the result encoding finishing, idempotent.
+func (j *Job) markMarshalEnd() {
+	j.mu.Lock()
+	if j.marks.marshalEnd.IsZero() {
+		j.marks.marshalEnd = time.Now()
+	}
+	j.mu.Unlock()
+}

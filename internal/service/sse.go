@@ -5,7 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 )
+
+// sseKeepAlive is how often an idle progress stream emits a comment
+// line (": ping") so proxies with read timeouts keep the connection
+// open. A variable so tests can shrink it.
+var sseKeepAlive = 15 * time.Second
 
 // handleProgress serves GET /v1/jobs/{id}/progress as a Server-Sent
 // Events stream: one data-only JSON event per progress update, ending
@@ -31,8 +37,17 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 
 	ch, stop := j.watch()
 	defer stop()
+	keepAlive := time.NewTicker(sseKeepAlive)
+	defer keepAlive.Stop()
 	for {
 		select {
+		case <-keepAlive.C:
+			// SSE comment line: ignored by event parsers, but enough
+			// traffic to keep idle proxied connections alive.
+			if _, err := fmt.Fprint(w, ": ping\n\n"); err != nil {
+				return // client gone
+			}
+			fl.Flush()
 		case p := <-ch:
 			if err := writeSSE(w, p); err != nil {
 				return // client gone

@@ -1,0 +1,105 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"hmcsim"
+)
+
+// TestProgressKeepAlivePing: an idle progress stream emits SSE comment
+// pings on the keep-alive interval, and a client that disconnects
+// mid-stream leaves no handler goroutine behind.
+func TestProgressKeepAlivePing(t *testing.T) {
+	old := sseKeepAlive
+	sseKeepAlive = 20 * time.Millisecond
+	t.Cleanup(func() { sseKeepAlive = old })
+
+	blocker := newBlockingFake("e")
+	_, c := newTestServer(t, Config{Workers: 1}, blocker)
+	ctx := context.Background()
+	v, err := c.Submit(ctx, hmcsim.Spec{Exp: "e"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-blocker.started
+	base := runtime.NumGoroutine()
+
+	sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	req, err := http.NewRequestWithContext(sctx, http.MethodGet,
+		strings.TrimSuffix(c.Base, "/")+"/v1/jobs/"+v.ID+"/progress", nil)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	resp, err := c.streamClient().Do(req)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	// The job is blocked, so nothing but pings should flow; two of them
+	// proves the ticker is periodic, not a one-shot.
+	br := bufio.NewReader(resp.Body)
+	pings := 0
+	for pings < 2 {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream ended after %d pings: %v", pings, err)
+		}
+		if strings.HasPrefix(line, ": ping") {
+			pings++
+		}
+	}
+
+	// Disconnect: the handler must unwind without leaking.
+	cancel()
+	resp.Body.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base+1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines settled at %d, want <= %d after stream disconnect",
+				runtime.NumGoroutine(), base+1)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(blocker.release)
+	waitJob(t, c, v.ID)
+}
+
+// TestWatchJobSkipsKeepAlives: WatchJob must treat comment lines as
+// noise — a stream that pings before the terminal event still resolves
+// to the job's final view.
+func TestWatchJobSkipsKeepAlives(t *testing.T) {
+	old := sseKeepAlive
+	sseKeepAlive = 15 * time.Millisecond
+	t.Cleanup(func() { sseKeepAlive = old })
+
+	blocker := newBlockingFake("e")
+	_, c := newTestServer(t, Config{Workers: 1}, blocker)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	v, err := c.Submit(ctx, hmcsim.Spec{Exp: "e"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-blocker.started
+
+	// Hold the job open long enough for several pings to precede the
+	// terminal event.
+	go func() {
+		time.Sleep(60 * time.Millisecond)
+		close(blocker.release)
+	}()
+	view, err := c.WatchJob(ctx, v.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.State != StateDone {
+		t.Fatalf("watched job ended %s, want done", view.State)
+	}
+}

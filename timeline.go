@@ -1,0 +1,50 @@
+package hmcsim
+
+import (
+	"context"
+	"io"
+
+	"hmcsim/internal/obs"
+)
+
+// TimelineCollector accumulates time-resolved activity series (vault
+// accepts and rejects, link flits, NoC hops, host tag pressure over
+// simulated time) from every system built with Options.NewSystemCtx
+// under its context. Obtain one with WithTimeline; export after the
+// experiment finishes with WriteChromeTrace.
+//
+// Memory is bounded regardless of run length: each system's timeline
+// holds a fixed number of buckets and downsamples (doubling the bucket
+// width) whenever the run outgrows them.
+type TimelineCollector struct {
+	col obs.Collector
+}
+
+// WithTimeline returns a context under which Options.NewSystemCtx
+// attaches a per-system activity timeline, and the collector that
+// aggregates them. Composes with WithTrace and WithProgress: a context
+// carrying both a trace and a timeline collector builds systems whose
+// tracers report into both. Runs without WithTimeline pay nothing.
+func WithTimeline(ctx context.Context) (context.Context, *TimelineCollector) {
+	tlc := &TimelineCollector{}
+	return context.WithValue(ctx, timelineKey{}, tlc), tlc
+}
+
+type timelineKey struct{}
+
+func timelineFrom(ctx context.Context) *TimelineCollector {
+	tlc, _ := ctx.Value(timelineKey{}).(*TimelineCollector)
+	return tlc
+}
+
+// Systems returns how many systems contributed timelines so far.
+func (tlc *TimelineCollector) Systems() int { return tlc.col.Systems() }
+
+// WriteChromeTrace renders the collected timelines as Chrome
+// trace_event JSON — one process per system, one counter series per
+// component — loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. Valid (empty) output is produced even when no
+// system registered.
+func (tlc *TimelineCollector) WriteChromeTrace(w io.Writer) error {
+	return tlc.col.WriteChromeTrace(w)
+}

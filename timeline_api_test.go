@@ -1,0 +1,135 @@
+// Tests for the timeline wiring of the public API: WithTimeline
+// contexts, Chrome trace_event export, and composition with WithTrace.
+package hmcsim_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"hmcsim"
+)
+
+func runQuickGUPS(sys *hmcsim.System) hmcsim.Measurement {
+	return hmcsim.GUPS{
+		Ports: 2, Size: 128, Pattern: hmcsim.AllVaults,
+		Warmup: 2 * hmcsim.Microsecond, Window: 10 * hmcsim.Microsecond,
+	}.Run(sys)
+}
+
+func TestWithTimelineProducesChromeTrace(t *testing.T) {
+	ctx, tlc := hmcsim.WithTimeline(context.Background())
+	o := hmcsim.Options{Quick: true}
+	runQuickGUPS(o.NewSystemCtx(ctx))
+
+	if tlc.Systems() != 1 {
+		t.Fatalf("timeline collector saw %d systems, want 1", tlc.Systems())
+	}
+	var buf bytes.Buffer
+	if err := tlc.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("write chrome trace: %v", err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	counters := map[string]int{}
+	for _, ev := range out.TraceEvents {
+		if ev.Ph == "C" {
+			counters[ev.Name]++
+		}
+	}
+	if len(counters) == 0 {
+		t.Fatal("trace has no counter events")
+	}
+	for _, want := range []string{"vault 0", "noc hops", "host tags"} {
+		if counters[want] == 0 {
+			t.Errorf("trace missing counter series %q; have %v", want, counters)
+		}
+	}
+}
+
+// TestWithTimelineEmptyRunStillValid: a run that builds no systems must
+// still export a valid (empty) trace — the table1 smoke case.
+func TestWithTimelineEmptyRunStillValid(t *testing.T) {
+	_, tlc := hmcsim.WithTimeline(context.Background())
+	var buf bytes.Buffer
+	if err := tlc.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v", err)
+	}
+	if _, ok := out["traceEvents"]; !ok {
+		t.Fatal("empty trace missing traceEvents key")
+	}
+}
+
+// TestWithTimelineComposesWithTrace: a context carrying both collectors
+// feeds one system's tracers into both — the trace summary and the
+// timeline each see the run.
+func TestWithTimelineComposesWithTrace(t *testing.T) {
+	ctx, tc := hmcsim.WithTrace(context.Background())
+	ctx, tlc := hmcsim.WithTimeline(ctx)
+	o := hmcsim.Options{Quick: true}
+	runQuickGUPS(o.NewSystemCtx(ctx))
+
+	if tc.Systems() != 1 {
+		t.Fatalf("trace collector saw %d systems, want 1", tc.Systems())
+	}
+	if tlc.Systems() != 1 {
+		t.Fatalf("timeline collector saw %d systems, want 1", tlc.Systems())
+	}
+	blob, err := json.Marshal(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum struct {
+		Vaults struct {
+			Accepts uint64 `json:"Accepts"`
+		}
+	}
+	if err := json.Unmarshal(blob, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Vaults.Accepts == 0 {
+		t.Error("trace summary empty despite shared tracer")
+	}
+	var buf bytes.Buffer
+	if err := tlc.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"ph":"C"`)) {
+		t.Error("timeline trace has no counter events despite shared tracer")
+	}
+}
+
+// TestTimelineDoesNotChangeResults guards determinism: a timeline-
+// sampled system must produce bit-identical measurements to a plain
+// one, since the sampler only observes.
+func TestTimelineDoesNotChangeResults(t *testing.T) {
+	o := hmcsim.Options{Quick: true, Seed: 3}
+	run := func(ctx context.Context) hmcsim.Measurement {
+		sys := o.NewSystemCtx(ctx)
+		return hmcsim.GUPS{
+			Ports: 2, Size: 64, Pattern: hmcsim.AllVaults,
+			Warmup: 2 * hmcsim.Microsecond, Window: 10 * hmcsim.Microsecond,
+		}.Run(sys)
+	}
+	plain := run(context.Background())
+	tctx, _ := hmcsim.WithTimeline(context.Background())
+	sampled := run(tctx)
+	if !reflect.DeepEqual(plain, sampled) {
+		t.Errorf("timeline sampling changed the measurement:\n plain   %+v\n sampled %+v", plain, sampled)
+	}
+}
