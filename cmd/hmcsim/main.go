@@ -67,6 +67,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	quick := fs.Bool("quick", false, "reduced sweeps and windows")
 	seed := fs.Uint64("seed", 0, "workload seed override")
 	workers := fs.Int("workers", 0, "sweep fan-out; 0 = NumCPU, 1 = sequential (results are identical either way)")
+	shards := fs.Int("shards", 0, "parallel engine shards per simulation; 0 = serial reference engine (results are identical either way)")
 	format := fs.String("format", "text", "output format: text or json")
 	trafficSpec := fs.String("traffic", "", "synthetic traffic spec for the \"traffic\" experiment: a pattern name or a JSON TrafficSpec")
 	trace := fs.Bool("trace", false, "collect and dump per-component tracer summaries (local runs only)")
@@ -137,7 +138,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			names[i] = strings.TrimSpace(name)
 		}
 	}
-	o := exp.Options{Quick: *quick, Seed: *seed, Workers: *workers}
+	o := exp.Options{Quick: *quick, Seed: *seed, Workers: *workers, Shards: *shards}
 	if *trafficSpec != "" {
 		// Only the generic "traffic" experiment consumes the spec. For
 		// any other selection the flag would be silently ignored — and,

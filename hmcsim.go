@@ -39,6 +39,7 @@ package hmcsim
 import (
 	"context"
 	"fmt"
+	"runtime"
 
 	"hmcsim/internal/core"
 	"hmcsim/internal/host"
@@ -94,6 +95,26 @@ type Options struct {
 	// sequential execution. Excluded from JSON because it must never
 	// change results, only wall-clock time.
 	Workers int `json:"-"`
+	// Shards runs each simulation on a vault-partitioned lockstep
+	// engine group of this many shards instead of the serial reference
+	// engine (0, the default). Results are byte-identical at every
+	// shard count; like Workers it trades only wall-clock time, so it
+	// is omitted from JSON and never perturbs cached spec keys.
+	Shards int `json:"-"`
+}
+
+// SweepWorkers resolves the sweep fan-out the experiment runners pass
+// to Sweep: Workers when the caller set it, otherwise the machine's
+// core count divided by the per-run shard count, so a sharded sweep
+// does not oversubscribe the machine with shards*jobs goroutines.
+func (o Options) SweepWorkers() int {
+	if o.Workers != 0 || o.Shards <= 1 {
+		return o.Workers // Sweep turns 0 into runtime.NumCPU()
+	}
+	if w := runtime.NumCPU() / o.Shards; w > 1 {
+		return w
+	}
+	return 1
 }
 
 // Validate rejects option values that cannot run: currently a traffic
@@ -107,12 +128,14 @@ func (o Options) Validate() error {
 	return nil
 }
 
-// NewSystem builds a default system with the option seed applied.
+// NewSystem builds a default system with the option seed and engine
+// sharding applied.
 func (o Options) NewSystem() *System {
 	cfg := DefaultConfig()
 	if o.Seed != 0 {
 		cfg.Seed = o.Seed
 	}
+	cfg.Shards = o.Shards
 	return NewSystem(cfg)
 }
 
@@ -120,7 +143,8 @@ func (o Options) NewSystem() *System {
 // checkpoints in systems built by NewSystemCtx. Large enough that the
 // countdown branch is noise in the event loop, small enough that
 // cancellation lands within a few hundred microseconds of wall clock.
-const checkpointEvery = 8192
+// It matches the engine's own default cadence.
+const checkpointEvery = sim.DefaultCheckpointEvery
 
 // NewSystemCtx builds a system like NewSystem but wired to ctx:
 //
@@ -143,6 +167,7 @@ func (o Options) NewSystemCtx(ctx context.Context) *System {
 	if o.Seed != 0 {
 		cfg.Seed = o.Seed
 	}
+	cfg.Shards = o.Shards
 	tc := collectorFrom(ctx)
 	tlc := timelineFrom(ctx)
 	switch {

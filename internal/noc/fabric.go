@@ -20,18 +20,41 @@ func (f FuncOutlet) TryOut(m *Message) bool { return f.Try(m) }
 // NotifyOut implements Outlet.
 func (f FuncOutlet) NotifyOut(m *Message, fn func()) { f.Notify(m, fn) }
 
+// Engines names the engine each part of the fabric runs on. In the
+// serial build every entry is the same engine; a sharded build assigns
+// quadrants to a sim.Group's shards (Hub carries the links and host).
+// Quadrant q's routers, its bridge-channel source sides and its vaults
+// all live on Quad[q].
+type Engines struct {
+	Hub  *sim.Engine
+	Quad []*sim.Engine
+}
+
+// SingleEngine places the whole fabric on one engine: the serial
+// reference layout.
+func SingleEngine(e *sim.Engine, nQuads int) Engines {
+	engs := Engines{Hub: e, Quad: make([]*sim.Engine, nQuads)}
+	for q := range engs.Quad {
+		engs.Quad[q] = e
+	}
+	return engs
+}
+
 // Fabric is the assembled logic-layer network: a request network carrying
 // host-to-vault traffic and a response network carrying vault-to-host
-// traffic, each built from one router per quadrant plus a small ingress
-// node per external link.
+// traffic, each built from one router per quadrant plus an ingress
+// channel per external link. Every edge that connects different
+// quadrants — ingress into a home router, the quadrant full mesh, and
+// router to link egress — is a bridge Chan in every build, so the
+// sharded and serial engines execute the identical event sequence.
 type Fabric struct {
 	cfg           Config
 	nQuads        int
 	vaultsPerQuad int
 	linkHome      []int
 
-	// ReqIngress[l] is the entry node for requests arriving on link l.
-	ReqIngress []*Router
+	// ReqIngress[l] is the entry channel for requests arriving on link l.
+	ReqIngress []*Chan
 	// ReqRouters[q] is the request-network router of quadrant q.
 	ReqRouters []*Router
 	// RespRouters[q] is the response-network router of quadrant q.
@@ -42,11 +65,13 @@ type Fabric struct {
 // NewFabric builds the two networks.
 //
 //   - linkHome[l] gives the quadrant where external link l attaches.
+//   - ingressBound caps messages in flight inside one ingress channel;
+//     the caller's link-level token pool is the real admission control.
 //   - vaultOutlets[v] consumes requests for vault v (length nQuads *
 //     vaultsPerQuad).
 //   - linkEgress[l] consumes responses leaving on link l.
-func NewFabric(eng *sim.Engine, cfg Config, nQuads, vaultsPerQuad int,
-	linkHome []int, vaultOutlets []Outlet, linkEgress []Outlet) *Fabric {
+func NewFabric(engs Engines, cfg Config, nQuads, vaultsPerQuad int,
+	linkHome []int, ingressBound int, vaultOutlets []Outlet, linkEgress []Outlet) *Fabric {
 
 	nVaults := nQuads * vaultsPerQuad
 	if len(vaultOutlets) != nVaults {
@@ -60,27 +85,41 @@ func NewFabric(eng *sim.Engine, cfg Config, nQuads, vaultsPerQuad int,
 			panic(fmt.Sprintf("noc: link home quadrant %d out of range", h))
 		}
 	}
+	if len(engs.Quad) != nQuads || engs.Hub == nil {
+		panic(fmt.Sprintf("noc: engines for %d quadrants, want %d plus a hub", len(engs.Quad), nQuads))
+	}
 	nLinks := len(linkHome)
 	f := &Fabric{
 		cfg:           cfg,
 		nQuads:        nQuads,
 		vaultsPerQuad: vaultsPerQuad,
 		linkHome:      append([]int(nil), linkHome...),
-		ReqIngress:    make([]*Router, nLinks),
+		ReqIngress:    make([]*Chan, nLinks),
 		ReqRouters:    make([]*Router, nQuads),
 		RespRouters:   make([]*Router, nQuads),
 	}
 
+	// quadCfg gives quadrant q's routers their own tracer when the build
+	// provides per-quadrant ones (sharded engines must not share tracer
+	// counters).
+	quadCfg := func(q int) Config {
+		c := cfg
+		if q < len(cfg.QuadTrace) && cfg.QuadTrace[q] != nil {
+			c.Trace = cfg.QuadTrace[q]
+		}
+		return c
+	}
+
 	// Request network. Router q's outlets: [0, vaultsPerQuad) local
-	// vaults, then one slot per quadrant for the full-mesh peer channels
-	// (the self slot stays nil and is never routed to).
+	// vaults, then one slot per quadrant for the full-mesh peer bridges
+	// (the self slot stays empty and is never routed to).
 	for q := 0; q < nQuads; q++ {
 		q := q
 		outlets := make([]Outlet, vaultsPerQuad+nQuads)
 		for i := 0; i < vaultsPerQuad; i++ {
 			outlets[i] = vaultOutlets[q*vaultsPerQuad+i]
 		}
-		f.ReqRouters[q] = NewRouter(eng, fmt.Sprintf("req.q%d", q), cfg,
+		f.ReqRouters[q] = NewRouter(engs.Quad[q], fmt.Sprintf("req.q%d", q), quadCfg(q),
 			func(m *Message) int {
 				if m.Tr.Quadrant == q {
 					return m.Tr.Vault % vaultsPerQuad
@@ -91,34 +130,31 @@ func NewFabric(eng *sim.Engine, cfg Config, nQuads, vaultsPerQuad int,
 	for q := 0; q < nQuads; q++ {
 		for p := 0; p < nQuads; p++ {
 			if p != q {
-				f.ReqRouters[q].SetOutlet(vaultsPerQuad+p, f.ReqRouters[p])
+				f.ReqRouters[q].SetChan(vaultsPerQuad+p, NewChan(
+					engs.Quad[q], engs.Quad[p], fmt.Sprintf("req.q%d-q%d", q, p),
+					cfg, cfg.InputBuffer, 0, f.ReqRouters[p]))
 			}
 		}
 	}
 
-	// Link ingress nodes: a single-output staging node per link whose
-	// occupancy is bounded by the link-level token pool, not by router
-	// credits (callers use Inject and wire OnForward to return tokens).
-	ingressCfg := cfg
-	ingressCfg.InputBuffer = 0 // bounded by the link-level token pool
+	// Link ingress channels: requests deserialize on the hub (link side)
+	// and bridge into the home quadrant's router. Occupancy is bounded
+	// by the link-level token pool, not by channel credits (callers use
+	// Inject and wire OnForward to return tokens).
 	for l := 0; l < nLinks; l++ {
-		f.ReqIngress[l] = NewRouter(eng, fmt.Sprintf("req.in%d", l), ingressCfg,
-			func(*Message) int { return 0 },
-			[]Outlet{f.ReqRouters[linkHome[l]]})
+		home := linkHome[l]
+		f.ReqIngress[l] = NewChan(engs.Hub, engs.Quad[home],
+			fmt.Sprintf("req.in%d", l), cfg, 0, ingressBound, f.ReqRouters[home])
+		f.ReqIngress[l].Trace = cfg.Trace
 	}
 
-	// Response network. Router q's outlets: [0, nLinks) egress ports
-	// (only meaningful for links homed at q), then one slot per quadrant
-	// for peers.
+	// Response network. Router q's outlets: [0, nLinks) egress bridges
+	// back to the hub (only wired for links homed at q), then one slot
+	// per quadrant for peer bridges.
 	for q := 0; q < nQuads; q++ {
 		q := q
 		outlets := make([]Outlet, nLinks+nQuads)
-		for l := 0; l < nLinks; l++ {
-			if linkHome[l] == q {
-				outlets[l] = linkEgress[l]
-			}
-		}
-		f.RespRouters[q] = NewRouter(eng, fmt.Sprintf("resp.q%d", q), cfg,
+		f.RespRouters[q] = NewRouter(engs.Quad[q], fmt.Sprintf("resp.q%d", q), quadCfg(q),
 			func(m *Message) int {
 				home := f.linkHome[m.Tr.Link]
 				if home == q {
@@ -128,9 +164,18 @@ func NewFabric(eng *sim.Engine, cfg Config, nQuads, vaultsPerQuad int,
 			}, outlets)
 	}
 	for q := 0; q < nQuads; q++ {
+		for l := 0; l < nLinks; l++ {
+			if linkHome[l] == q {
+				f.RespRouters[q].SetChan(l, NewChan(
+					engs.Quad[q], engs.Hub, fmt.Sprintf("resp.q%d-out%d", q, l),
+					cfg, cfg.InputBuffer, 0, linkEgress[l]))
+			}
+		}
 		for p := 0; p < nQuads; p++ {
 			if p != q {
-				f.RespRouters[q].SetOutlet(nLinks+p, f.RespRouters[p])
+				f.RespRouters[q].SetChan(nLinks+p, NewChan(
+					engs.Quad[q], engs.Quad[p], fmt.Sprintf("resp.q%d-q%d", q, p),
+					cfg, cfg.InputBuffer, 0, f.RespRouters[p]))
 			}
 		}
 	}
@@ -149,12 +194,13 @@ func (f *Fabric) InjectRequest(l int, m *Message) {
 // responses; injection is credit-checked against the router's input pool.
 func (f *Fabric) RespIngress(q int) Outlet { return f.RespRouters[q] }
 
-// QueuedMessages returns the total occupancy of every router, a debugging
-// aid for conservation checks.
+// QueuedMessages returns the total occupancy of every router and ingress
+// channel, a debugging aid for conservation checks. Call it only when
+// the fabric is quiescent (between runs); it reads every shard's state.
 func (f *Fabric) QueuedMessages() int {
 	n := 0
-	for _, r := range f.ReqIngress {
-		n += r.Queued()
+	for _, c := range f.ReqIngress {
+		n += c.Queued()
 	}
 	for _, r := range f.ReqRouters {
 		n += r.Queued()

@@ -88,10 +88,17 @@ type Config struct {
 	InputBuffer int
 
 	// Trace, when non-nil, observes message hops and router occupancy.
-	// One tracer is shared by every router built from this config; the
-	// fabric runs on a single engine goroutine, so the shared counters
-	// need no locks. Nil keeps the admission hook a single branch.
+	// One tracer is shared by every router built from this config; a
+	// router's hooks run only on its own engine goroutine, so the shared
+	// counters need no locks as long as all routers share one engine.
+	// Nil keeps the admission hook a single branch.
 	Trace *obs.NoCTracer
+
+	// QuadTrace, when non-empty, gives each quadrant's routers their own
+	// tracer (indexed by quadrant). Sharded builds use it so routers on
+	// different engines never share counters; entries may be nil to fall
+	// back to Trace.
+	QuadTrace []*obs.NoCTracer
 }
 
 // DefaultConfig returns the fabric parameters used by the reproduction.
@@ -124,6 +131,11 @@ type Router struct {
 }
 
 type outState struct {
+	// ch, when non-nil, replaces this slot's whole output pipeline with
+	// a bridge channel (see Chan): the fabric uses bridges for every
+	// edge that may cross engines in a sharded build.
+	ch *Chan
+
 	outlet  Outlet
 	credits *sim.TokenPool // nil when InputBuffer == 0
 	server  *sim.Server
@@ -174,8 +186,20 @@ func (r *Router) Name() string { return r.name }
 
 // TryOut implements Outlet: upstream senders inject into this router,
 // admitted against the credit pool of the output the message routes to.
+// Bridge slots delegate to their channel; the router still counts the
+// admission and samples its occupancy for the tracer.
 func (r *Router) TryOut(m *Message) bool {
 	o := &r.outlets[r.routeIndex(m)]
+	if o.ch != nil {
+		if !o.ch.TryOut(m) {
+			return false
+		}
+		r.received++
+		if r.cfg.Trace != nil {
+			r.cfg.Trace.OnHop(r.Queued())
+		}
+		return true
+	}
 	if o.credits != nil && !o.credits.TryAcquire(1) {
 		return false
 	}
@@ -187,17 +211,16 @@ func (r *Router) TryOut(m *Message) bool {
 // frees a slot.
 func (r *Router) NotifyOut(m *Message, fn func()) {
 	o := &r.outlets[r.routeIndex(m)]
+	if o.ch != nil {
+		o.ch.NotifyOut(m, fn)
+		return
+	}
 	if o.credits == nil {
 		fn()
 		return
 	}
 	o.credits.Notify(fn)
 }
-
-// Inject places a message into the router without consuming a credit; the
-// caller owns the admission control (used for link ingress, where the
-// link-level token pool is the real buffer bound).
-func (r *Router) Inject(m *Message) { r.accept(m) }
 
 func (r *Router) routeIndex(m *Message) int {
 	i := r.route(m)
@@ -275,17 +298,40 @@ func (r *Router) SetOutlet(i int, o Outlet) {
 	r.outlets[i].outlet = o
 }
 
+// SetChan replaces output slot i's queue/server/credit pipeline with a
+// bridge channel; messages routed to the slot are admitted against the
+// channel's credits and paced by its server instead.
+func (r *Router) SetChan(i int, c *Chan) {
+	st := &r.outlets[i]
+	st.ch = c
+	st.outlet, st.credits, st.server, st.queue = nil, nil, nil, nil
+	st.serFn, st.delivFn = nil, nil
+}
+
 // Received returns the number of messages injected into the router.
 func (r *Router) Received() uint64 { return r.received }
 
-// Forwarded returns the number of messages sent downstream.
-func (r *Router) Forwarded() uint64 { return r.forwarded }
+// Forwarded returns the number of messages sent downstream, including
+// through bridge slots (counted when their credit returns).
+func (r *Router) Forwarded() uint64 {
+	n := r.forwarded
+	for i := range r.outlets {
+		if c := r.outlets[i].ch; c != nil {
+			n += c.Forwarded()
+		}
+	}
+	return n
+}
 
 // Queued returns the total messages parked in the router, including any
-// held on a blocked output.
+// held on a blocked output and any inside bridge slots' channels.
 func (r *Router) Queued() int {
 	n := 0
 	for i := range r.outlets {
+		if c := r.outlets[i].ch; c != nil {
+			n += c.Queued()
+			continue
+		}
 		n += r.outlets[i].queue.Len()
 		if r.outlets[i].pumping {
 			n++ // popped but not yet delivered

@@ -126,22 +126,71 @@ func TestRouterVOQIndependence(t *testing.T) {
 	}
 }
 
-func TestRouterUnboundedIngress(t *testing.T) {
+func TestChanExternallyBoundedIngress(t *testing.T) {
 	eng := sim.NewEngine()
 	s := &sinkOutlet{}
-	cfg := DefaultConfig()
-	cfg.InputBuffer = 0
 	released := 0
-	r := NewRouter(eng, "in", cfg, func(*Message) int { return 0 }, []Outlet{s})
-	r.OnForward = func(int) { released++ }
+	c := NewChan(eng, eng, "in", DefaultConfig(), 0, 50, s)
+	c.OnForward = func(int) { released++ }
 	eng.Schedule(0, func() {
 		for i := 0; i < 50; i++ {
-			r.Inject(msg(0, 0, 0, 16))
+			c.Inject(msg(0, 0, 0, 16))
 		}
 	})
 	eng.Drain()
 	if len(s.got) != 50 || released != 50 {
 		t.Fatalf("delivered/released = %d/%d, want 50/50", len(s.got), released)
+	}
+	if c.Received() != 50 || c.Forwarded() != 50 || c.Queued() != 0 {
+		t.Fatalf("received/forwarded/queued = %d/%d/%d, want 50/50/0",
+			c.Received(), c.Forwarded(), c.Queued())
+	}
+}
+
+// chokeOutlet accepts one message at a time, releasing its single slot a
+// fixed delay later — a stand-in for a congested downstream credit pool.
+type chokeOutlet struct {
+	eng     *sim.Engine
+	credits *sim.TokenPool
+	got     []*Message
+}
+
+func (o *chokeOutlet) TryOut(m *Message) bool {
+	if !o.credits.TryAcquire(1) {
+		return false
+	}
+	o.got = append(o.got, m)
+	o.eng.Schedule(10*sim.Nanosecond, func() { o.credits.Release(1) })
+	return true
+}
+
+func (o *chokeOutlet) NotifyOut(_ *Message, fn func()) { o.credits.Notify(fn) }
+
+func TestChanContendersAlternate(t *testing.T) {
+	// Two channels feeding one choked outlet must share it. A channel
+	// that retried synchronously inside the credit pool's waiter fire
+	// would re-register ahead of its rival every time and capture the
+	// pool outright — the starvation bug that wedged one external link.
+	eng := sim.NewEngine()
+	o := &chokeOutlet{eng: eng, credits: sim.NewTokenPool(1)}
+	a := NewChan(eng, eng, "a", DefaultConfig(), 0, 25, o)
+	b := NewChan(eng, eng, "b", DefaultConfig(), 0, 25, o)
+	eng.Schedule(0, func() {
+		for i := 0; i < 25; i++ {
+			a.Inject(msg(0, 0, 0, 16))
+			b.Inject(msg(1, 0, 0, 16))
+		}
+	})
+	eng.Drain()
+	if len(o.got) != 50 {
+		t.Fatalf("delivered %d messages, want 50", len(o.got))
+	}
+	seen := [2]int{}
+	for _, m := range o.got[:10] {
+		seen[m.Tr.Vault]++
+	}
+	if seen[0] == 0 || seen[1] == 0 {
+		t.Fatalf("first 10 deliveries split %d/%d between the channels; one is starved", seen[0], seen[1])
 	}
 }
 
@@ -158,7 +207,10 @@ func newTestFabric(eng *sim.Engine, cfg Config) (*Fabric, []*sinkOutlet, []*sink
 		egress[i] = &sinkOutlet{}
 		egressOutlets[i] = egress[i]
 	}
-	f := NewFabric(eng, cfg, 4, 4, []int{0, 2}, vaultOutlets, egressOutlets)
+	// The test ingress bound is generous: tests inject whole batches in
+	// one instant, where the real system's link-level token pool admits
+	// only a dozen flits.
+	f := NewFabric(SingleEngine(eng, 4), cfg, 4, 4, []int{0, 2}, 512, vaultOutlets, egressOutlets)
 	return f, vaults, egress
 }
 

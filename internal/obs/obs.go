@@ -267,6 +267,77 @@ type SystemTracer struct {
 
 	now      func() int64 // the owning engine's clock, for utilization windows
 	timeline *Timeline    // optional time-resolved activity series
+
+	// shards, keyed by shard index, hold the tracer plumbing of engine
+	// shards other than the primary in a sharded build: each shard's
+	// clock, its private timeline (Timeline mutates shared bucket state
+	// on Add, so engines must not share one), and its fabric tracer.
+	// Serial builds never populate it.
+	shards map[int]*shardState
+}
+
+// shardState is one engine shard's tracer plumbing.
+type shardState struct {
+	clock func() int64
+	tl    *Timeline
+	noc   *NoCTracer
+}
+
+// ShardClock registers the clock of engine shard s; tracers obtained
+// through ShardNoC/ShardVault use it, and, when a timeline is enabled,
+// samples for that shard land in a shard-private timeline exported as
+// its own process. Call after SetClock, during system assembly.
+func (t *SystemTracer) ShardClock(shard int, clock func() int64) {
+	if t.shards == nil {
+		t.shards = map[int]*shardState{}
+	}
+	st := t.shards[shard]
+	if st == nil {
+		st = &shardState{}
+		t.shards[shard] = st
+	}
+	st.clock = clock
+	if t.timeline != nil && st.tl == nil {
+		st.tl = NewTimeline(t.timeline.WidthPs())
+	}
+}
+
+// ShardNoC returns the fabric tracer of engine shard s: a per-shard
+// tracer when ShardClock registered the shard, the primary NoC tracer
+// otherwise (the serial build's single shared tracer).
+func (t *SystemTracer) ShardNoC(shard int) *NoCTracer {
+	st := t.shards[shard]
+	if st == nil {
+		return &t.NoC
+	}
+	if st.noc == nil {
+		st.noc = &NoCTracer{}
+		if st.tl != nil {
+			st.noc.now = st.clock
+			st.noc.tl = st.tl.Track("noc hops")
+		}
+	}
+	return st.noc
+}
+
+// ShardVault is Vault(id) for a vault living on engine shard s: the
+// tracer's clock and timeline tracks come from that shard. Falls back
+// to Vault(id) when the shard is unregistered.
+func (t *SystemTracer) ShardVault(id, shard int) *VaultTracer {
+	st := t.shards[shard]
+	if st == nil {
+		return t.Vault(id)
+	}
+	for len(t.vaults) <= id {
+		t.vaults = append(t.vaults, &VaultTracer{})
+	}
+	vt := t.vaults[id]
+	vt.now = st.clock
+	if st.tl != nil {
+		vt.tl = st.tl.Track(fmt.Sprintf("vault %d", id))
+		vt.tlR = st.tl.Track("vault rejects")
+	}
+	return vt
 }
 
 // EnableTimeline attaches a timeline; component tracers created (or
@@ -475,6 +546,12 @@ func (c *Collector) Summary() *Summary {
 		}
 		s.NoC.Hops += sys.NoC.Hops
 		nocQ.Merge(&sys.NoC.Queue)
+		for _, st := range sys.shards {
+			if st.noc != nil {
+				s.NoC.Hops += st.noc.Hops
+				nocQ.Merge(&st.noc.Queue)
+			}
+		}
 		s.Host.TagTakes += sys.Host.TagTakes
 		s.Host.TagWaits += sys.Host.TagWaits
 		hostOut.Merge(&sys.Host.Outstanding)

@@ -13,7 +13,9 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
+	"sort"
 )
 
 // TimelineBuckets is the fixed per-track bucket count. 256 buckets at
@@ -143,12 +145,14 @@ type chromeTrace struct {
 	DisplayTimeUnit string       `json:"displayTimeUnit"`
 }
 
-// WriteChromeTrace renders every registered system's timeline as Chrome
-// trace_event JSON (counter events over simulated time, one process per
-// system), loadable in Perfetto or chrome://tracing. Systems without a
-// timeline are skipped; with none at all the output is still a valid
-// empty trace. Timestamps map simulated picoseconds onto the format's
-// microsecond axis.
+// WriteChromeTrace renders every registered system's timelines as
+// Chrome trace_event JSON (counter events over simulated time, one
+// process per timeline), loadable in Perfetto or chrome://tracing. A
+// sharded system exports one process per engine shard alongside the
+// primary, so per-shard counter tracks appear side by side. Systems
+// without a timeline are skipped; with none at all the output is still
+// a valid empty trace. Timestamps map simulated picoseconds onto the
+// format's microsecond axis.
 func (c *Collector) WriteChromeTrace(w io.Writer) error {
 	c.mu.Lock()
 	systems := append([]*SystemTracer(nil), c.systems...)
@@ -156,11 +160,7 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 
 	out := chromeTrace{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
 	pid := 0
-	for _, sys := range systems {
-		tl := sys.Timeline()
-		if tl == nil {
-			continue
-		}
+	emit := func(name string, tl *Timeline) {
 		pid++
 		named := false
 		for _, tr := range tl.tracks {
@@ -170,7 +170,7 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 			if !named {
 				out.TraceEvents = append(out.TraceEvents, traceEvent{
 					Name: "process_name", Ph: "M", Pid: pid,
-					Args: map[string]string{"name": "system"},
+					Args: map[string]string{"name": name},
 				})
 				named = true
 			}
@@ -187,6 +187,23 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 					Args: map[string]uint64{"c": tr.counts[i]},
 				})
 			}
+		}
+	}
+	for _, sys := range systems {
+		tl := sys.Timeline()
+		if tl == nil {
+			continue
+		}
+		emit("system", tl)
+		shardIDs := make([]int, 0, len(sys.shards))
+		for id, st := range sys.shards {
+			if st.tl != nil {
+				shardIDs = append(shardIDs, id)
+			}
+		}
+		sort.Ints(shardIDs)
+		for _, id := range shardIDs {
+			emit(fmt.Sprintf("shard %d", id), sys.shards[id].tl)
 		}
 	}
 	enc := json.NewEncoder(w)

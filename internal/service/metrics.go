@@ -43,6 +43,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("hmcsim_uptime_seconds", "Seconds since daemon start.", st.UptimeSeconds)
 	gauge("hmcsim_goroutines", "Live goroutines in the daemon process.", float64(st.Goroutines))
 	gauge("hmcsim_workers", "Size of the simulation worker pool.", float64(st.Workers))
+	gauge("hmcsim_engine_shards", "Parallel engine shards per simulation; 0 = serial reference engine.", float64(st.EngineShards))
 	gauge("hmcsim_experiments", "Registered experiment runners.", float64(st.Experiments))
 	gauge("hmcsim_queue_depth", "Jobs waiting for a worker.", float64(st.QueueDepth))
 	gauge("hmcsim_queue_capacity", "Job queue capacity.", float64(st.QueueCap))

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"hmcsim"
+	"hmcsim/internal/sim"
 )
 
 var (
@@ -32,6 +33,11 @@ var (
 // Config sizes the serving layer. The zero value picks sensible
 // defaults.
 type Config struct {
+	// Shards is the per-simulation engine shard count every worker runs
+	// jobs with; 0 (the default) keeps the serial reference engine.
+	// Results are byte-identical either way, so the cache and spec keys
+	// are unaffected; only wall-clock time per job changes.
+	Shards int
 	// Workers is the number of concurrent simulations; <= 0 means
 	// runtime.NumCPU().
 	Workers int
@@ -244,7 +250,8 @@ func (s *Server) runJob(j *Job, worker int) {
 	defer s.running.Add(-1)
 	runner := s.runners[j.spec.Exp] // validated at submission
 	o := j.spec.Options
-	o.Workers = 1 // one single-threaded engine per worker
+	o.Workers = 1           // one engine per worker
+	o.Shards = s.cfg.Shards // each engine may itself be sharded
 	// Stream sweep/engine progress to the job's watchers and fold the
 	// deltas into the daemon-wide counters. The sink serializes calls,
 	// so last needs no lock.
@@ -630,6 +637,13 @@ type Stats struct {
 	SimEvents   uint64  `json:"simEvents"`
 	SimTimeMs   float64 `json:"simTimeMs"`
 	SweepPoints uint64  `json:"sweepPoints"`
+	// EngineShards is the per-simulation shard count jobs run with (0 =
+	// serial reference engine); ShardBusyMs, present only when sharded,
+	// is cumulative wall-clock execution time per shard index across
+	// every sharded engine the process has run — the skew between
+	// entries shows how evenly the cube partitions.
+	EngineShards int       `json:"engineShards"`
+	ShardBusyMs  []float64 `json:"shardBusyMs,omitempty"`
 }
 
 // WorkerStatView is one worker's row in Stats.
@@ -664,9 +678,23 @@ func (s *Server) Snapshot() Stats {
 			IdleMs: float64(idle.Microseconds()) / 1000,
 		}
 	}
+	var shardBusy []float64
+	if s.cfg.Shards > 0 {
+		busyNs := sim.ShardBusyNanos()
+		n := s.cfg.Shards
+		if n > len(busyNs) {
+			n = len(busyNs)
+		}
+		shardBusy = make([]float64, n)
+		for i := range shardBusy {
+			shardBusy[i] = float64(busyNs[i]) / 1e6
+		}
+	}
 	return Stats{
 		Experiments:   len(s.names),
 		Workers:       s.cfg.Workers,
+		EngineShards:  s.cfg.Shards,
+		ShardBusyMs:   shardBusy,
 		QueueDepth:    queued,
 		QueueCap:      s.cfg.QueueDepth,
 		Jobs:          jobs,

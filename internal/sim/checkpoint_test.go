@@ -28,6 +28,35 @@ func TestCheckpointFiresEveryN(t *testing.T) {
 	}
 }
 
+// TestCheckpointZeroIntervalDefaults is the regression test for the
+// zero-interval bug: SetCheckpoint(0, fn) with a non-nil fn used to
+// silently disable the callback (ckEvery stayed 0), so callers asking
+// for "the default cadence" got no cancellation checks at all. It must
+// select DefaultCheckpointEvery instead.
+func TestCheckpointZeroIntervalDefaults(t *testing.T) {
+	eng := NewEngine()
+	var tm *Timer
+	tm = eng.NewTimer(func() { tm.After(10) })
+	tm.After(0)
+
+	calls := 0
+	eng.SetCheckpoint(0, func() bool { calls++; return true })
+	events := uint64(3 * DefaultCheckpointEvery)
+	eng.Run(Time(10 * (events - 1))) // fires exactly `events` events
+	if calls != 3 {
+		t.Fatalf("%d events with a zero-interval checkpoint: %d calls, want 3 (every %d)",
+			events, calls, DefaultCheckpointEvery)
+	}
+
+	// A nil fn still removes the checkpoint entirely.
+	eng.SetCheckpoint(0, nil)
+	before := calls
+	eng.Run(eng.Now() + 10*DefaultCheckpointEvery*2)
+	if calls != before {
+		t.Fatalf("nil checkpoint still fired (%d -> %d calls)", before, calls)
+	}
+}
+
 // TestCheckpointInterruptsRun verifies that a false return stops Run at
 // the checkpoint with the clock held at the last fired event, and that
 // a later Run resumes cleanly.

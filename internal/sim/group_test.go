@@ -1,0 +1,291 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// The toy model for group tests: a ring of nodes, each ticking on its
+// own period and sending payloads to two neighbors over channels with a
+// fixed latency. Every cross-node edge goes through toyChan (CrossAt +
+// ChanKey), exactly like the real model's NoC bridges, so the same
+// construction runs unchanged on one ungrouped engine or spread over a
+// group's shards. Periods and latencies share common multiples on
+// purpose, so same-instant deliveries from different channels exercise
+// the placement-independent key ordering.
+
+type toyChan struct {
+	src, dst *Engine
+	id       uint64
+	seq      uint64
+	lat      Time
+	onRecv   func(at Time, payload int)
+}
+
+func newToyChan(src, dst *Engine, lat Time, onRecv func(Time, int)) *toyChan {
+	c := &toyChan{src: src, dst: dst, id: src.AllocChanID(), lat: lat, onRecv: onRecv}
+	src.ObserveLookahead(lat)
+	return c
+}
+
+func (c *toyChan) send(payload int) {
+	c.seq++
+	at := c.src.Now() + c.lat
+	c.src.CrossAt(c.dst, at, ChanKey(c.id, c.seq), func() { c.onRecv(at, payload) })
+}
+
+type toyNode struct {
+	id   int
+	e    *Engine
+	out  []*toyChan
+	tick *Timer
+	sent int
+	log  []string
+}
+
+// buildToyRing wires nodes nodes over the given engines (node i lives
+// on engines[i%len(engines)]). Each node ticks until stopAt, sending a
+// payload over each outgoing channel; receivers log and echo every
+// third payload back, bounded so the simulation quiesces.
+func buildToyRing(engines []*Engine, nodes int, stopAt Time) []*toyNode {
+	ns := make([]*toyNode, nodes)
+	for i := range ns {
+		ns[i] = &toyNode{id: i, e: engines[i%len(engines)]}
+	}
+	for i, n := range ns {
+		for _, step := range []int{1, 3} {
+			dst := ns[(i+step)%nodes]
+			ch := newToyChan(n.e, dst.e, Time(2000+500*(step-1)), nil)
+			ch.onRecv = func(at Time, payload int) {
+				dst.log = append(dst.log, fmt.Sprintf("%d<-ch%d @%d p%d", dst.id, ch.id, at, payload))
+				if payload%3 == 0 && payload > 0 && at < stopAt {
+					// Echo back over dst's first channel.
+					dst.out[0].send(-payload)
+				}
+			}
+			n.out = append(n.out, ch)
+		}
+	}
+	for i, n := range ns {
+		n := n
+		period := Time(100 * (3 + i%4))
+		n.tick = n.e.NewTimer(func() {
+			n.sent++
+			for _, ch := range n.out {
+				ch.send(n.sent)
+			}
+			if n.e.Now()+period < stopAt {
+				n.tick.After(period)
+			}
+		})
+		n.tick.At(Time(100 * (i + 1)))
+	}
+	return ns
+}
+
+func toyLogs(ns []*toyNode) []string {
+	var all []string
+	for _, n := range ns {
+		all = append(all, fmt.Sprintf("node%d sent=%d now=%d", n.id, n.sent, n.e.Now()))
+		all = append(all, n.log...)
+	}
+	return all
+}
+
+func runToySerial(nodes int, stopAt, until Time, drain bool) []string {
+	eng := NewEngine()
+	ns := buildToyRing([]*Engine{eng}, nodes, stopAt)
+	if drain {
+		eng.Run(until)
+		eng.Drain()
+	} else {
+		eng.Run(until)
+	}
+	return toyLogs(ns)
+}
+
+func runToySharded(shards, nodes int, stopAt, until Time, drain bool) []string {
+	g := NewGroup(shards)
+	engines := make([]*Engine, shards)
+	for i := range engines {
+		engines[i] = g.Engine(i)
+	}
+	ns := buildToyRing(engines, nodes, stopAt)
+	hub := g.Engine(0)
+	if drain {
+		hub.Run(until)
+		hub.Drain()
+	} else {
+		hub.Run(until)
+	}
+	return toyLogs(ns)
+}
+
+// TestGroupMatchesSerial is the determinism contract at kernel level:
+// the same model, sharded over 1..4 engines, produces logs identical to
+// the single-engine serial build — including under GOMAXPROCS=1, where
+// barrier progress depends on cooperative yielding.
+func TestGroupMatchesSerial(t *testing.T) {
+	const nodes = 7
+	const stopAt = Time(60_000)
+	const until = Time(80_000)
+	want := runToySerial(nodes, stopAt, until, true)
+
+	for _, shards := range []int{1, 2, 3, 4} {
+		for _, procs := range []int{1, runtime.NumCPU()} {
+			t.Run(fmt.Sprintf("shards=%d/procs=%d", shards, procs), func(t *testing.T) {
+				old := runtime.GOMAXPROCS(procs)
+				defer runtime.GOMAXPROCS(old)
+				got := runToySharded(shards, nodes, stopAt, until, true)
+				if len(got) != len(want) {
+					t.Fatalf("log length %d, want %d", len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("log[%d] = %q, want %q", i, got[i], want[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestGroupRunStopsAtUntil verifies the mid-flight case: a Run deadline
+// landing between events leaves every shard's clock at until, with
+// pending events intact for the next call, exactly like the serial path.
+func TestGroupRunStopsAtUntil(t *testing.T) {
+	const nodes = 5
+	const stopAt = Time(50_000)
+	for _, until := range []Time{Time(7_777), Time(23_450)} {
+		want := runToySerial(nodes, stopAt, until, false)
+		got := runToySharded(3, nodes, stopAt, until, false)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("until=%v: sharded log diverges from serial\n got: %v\nwant: %v", until, got, want)
+		}
+	}
+
+	// Resuming after an early deadline must also match.
+	g := NewGroup(2)
+	ns := buildToyRing([]*Engine{g.Engine(0), g.Engine(1)}, nodes, stopAt)
+	hub := g.Engine(0)
+	hub.Run(9_000)
+	if hub.Now() != 9_000 {
+		t.Fatalf("hub clock %v after Run(9000)", hub.Now())
+	}
+	hub.Run(20_000)
+	hub.Drain()
+	want := runToySerial(nodes, stopAt, 20_000, true)
+	if fmt.Sprint(toyLogs(ns)) != fmt.Sprint(want) {
+		t.Fatal("split Run(9000)+Run(20000)+Drain diverges from one Run(20000)+Drain")
+	}
+}
+
+// TestGroupCheckpointAndFired verifies the group checkpoint seam: the
+// hub's SetCheckpoint callback runs at barriers on the whole-group fired
+// cadence, Fired() aggregates shards, and a false return interrupts all
+// shards promptly.
+func TestGroupCheckpointAndFired(t *testing.T) {
+	g := NewGroup(3)
+	engines := []*Engine{g.Engine(0), g.Engine(1), g.Engine(2)}
+	buildToyRing(engines, 6, 40_000)
+	hub := g.Engine(0)
+
+	calls := 0
+	hub.SetCheckpoint(50, func() bool { calls++; return true })
+	hub.Run(40_000)
+	if calls == 0 {
+		t.Fatal("group checkpoint never ran")
+	}
+	if hub.Interrupted() {
+		t.Fatal("run interrupted without the checkpoint asking")
+	}
+	fired := hub.Fired()
+	var sum uint64
+	for _, e := range engines {
+		sum += e.nfired
+	}
+	if fired != sum || fired == 0 {
+		t.Fatalf("hub.Fired() = %d, want shard sum %d (nonzero)", fired, sum)
+	}
+
+	// A refusing checkpoint interrupts the group.
+	g2 := NewGroup(3)
+	buildToyRing([]*Engine{g2.Engine(0), g2.Engine(1), g2.Engine(2)}, 6, 40_000)
+	hub2 := g2.Engine(0)
+	hub2.SetCheckpoint(50, func() bool { return false })
+	end := hub2.Run(40_000)
+	if !hub2.Interrupted() {
+		t.Fatal("group run was not interrupted")
+	}
+	if end >= 40_000 {
+		t.Fatalf("interrupted run still reached the deadline (now=%v)", end)
+	}
+}
+
+// TestGroupBusyNanos checks the observability counters move.
+func TestGroupBusyNanos(t *testing.T) {
+	g := NewGroup(2)
+	buildToyRing([]*Engine{g.Engine(0), g.Engine(1)}, 4, 30_000)
+	g.Engine(0).Run(30_000)
+	busy := g.BusyNanos()
+	if len(busy) != 2 {
+		t.Fatalf("BusyNanos len %d, want 2", len(busy))
+	}
+	for i, b := range busy {
+		if b < 0 {
+			t.Fatalf("shard %d busy %d ns, want >= 0", i, b)
+		}
+	}
+	global := ShardBusyNanos()
+	if global[0] < busy[0] || global[1] < busy[1] {
+		t.Fatalf("global busy %v below group busy %v", global[:2], busy)
+	}
+}
+
+// TestGroupSteadyStateDoesNotAllocate pins the sharded hot path's
+// allocation contract: once a grouped run is warm, windows, barriers
+// and cross-shard mailbox handoffs allocate nothing, so total heap
+// mallocs across a long Run stay bounded by a small constant instead
+// of growing with the event or window count. The workload pre-binds
+// every callback (unlike the toy ring, which closes over each
+// payload), so anything the counter sees is the kernel's.
+func TestGroupSteadyStateDoesNotAllocate(t *testing.T) {
+	g := NewGroup(3)
+	a, b, c := g.Engine(0), g.Engine(1), g.Engine(2)
+	const lat = Time(2_000)
+	for _, pair := range [][2]*Engine{{a, b}, {b, c}, {c, a}, {a, c}} {
+		src, dst := pair[0], pair[1]
+		src.ObserveLookahead(lat)
+		dst.ObserveLookahead(lat)
+		fwdID, retID := src.AllocChanID(), dst.AllocChanID()
+		var fwdSeq, retSeq uint64
+		var fwd, ret func()
+		// fwd runs on dst, ret on src; each volleys the ball back.
+		fwd = func() {
+			retSeq++
+			dst.CrossAt(src, dst.Now()+lat, ChanKey(retID, retSeq), ret)
+		}
+		ret = func() {
+			fwdSeq++
+			src.CrossAt(dst, src.Now()+lat, ChanKey(fwdID, fwdSeq), fwd)
+		}
+		src.Schedule(0, ret)
+	}
+	hub := a
+	hub.Run(400_000) // warm-up: goroutines, heap and mailbox growth
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := hub.Fired()
+	hub.Run(4_000_000)
+	runtime.ReadMemStats(&after)
+	events := hub.Fired() - start
+	mallocs := after.Mallocs - before.Mallocs
+	if events < 1_000 {
+		t.Fatalf("ping-pong volley fired only %d events", events)
+	}
+	if mallocs > 64 {
+		t.Errorf("steady-state group run allocated %d objects over %d events; the window/mailbox hot path must not allocate", mallocs, events)
+	}
+}
