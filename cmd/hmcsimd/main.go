@@ -7,7 +7,12 @@
 // Usage:
 //
 //	hmcsimd [-addr :8080] [-workers N] [-queue N] [-cache N]
-//	        [-flight N] [-slowjob 10s]
+//	        [-flight N] [-slowjob 10s] [-log-format text|json]
+//
+// The daemon logs structured job-lifecycle records (admission and
+// completion, each carrying the submission's X-Hmcsim-Trace-Id) to
+// stderr; -log-format json switches them to one-JSON-object-per-line
+// for log shippers.
 //
 // Endpoints:
 //
@@ -51,7 +56,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -73,7 +78,20 @@ func main() {
 	flight := flag.Int("flight", 0, "flight-recorder entries (last N completed jobs at /v1/flight); 0 = default 128")
 	slowJob := flag.Duration("slowjob", 0, "flag completed jobs slower than this in the flight recorder; 0 = default 10s, negative disables")
 	withPprof := flag.Bool("pprof", false, "serve /debug/pprof/ profiling endpoints (expose only on trusted addresses)")
+	logFormat := flag.String("log-format", "text", "structured log format on stderr: text or json")
 	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "hmcsimd: unknown -log-format %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
 
 	svc := service.New(service.Config{
 		Workers:       *workers,
@@ -83,6 +101,7 @@ func main() {
 		MaxJobs:       *maxJobs,
 		FlightEntries: *flight,
 		SlowJob:       *slowJob,
+		Logger:        logger,
 	}, exp.Runners())
 
 	// The service handler owns the API routes; with -pprof the profiling
@@ -105,15 +124,15 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("hmcsimd: serving %d experiments on %s", len(exp.Names()), *addr)
+	logger.Info("hmcsimd serving", "experiments", len(exp.Names()), "addr", *addr)
 
 	select {
 	case <-ctx.Done():
-		log.Print("hmcsimd: shutting down")
+		logger.Info("hmcsimd shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("hmcsimd: shutdown: %v", err)
+			logger.Error("hmcsimd shutdown", "error", err.Error())
 		}
 		svc.Close()
 	case err := <-errc:

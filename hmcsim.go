@@ -159,6 +159,10 @@ const checkpointEvery = sim.DefaultCheckpointEvery
 //   - If ctx carries a WithTimeline collector, those tracers also
 //     record per-component activity over simulated time, for Chrome
 //     trace_event export.
+//   - If ctx carries a WithShardStats collector (or a timeline) and the
+//     options shard the engine, the group gets a lockstep observatory:
+//     barrier-wait, window and mailbox telemetry, merged by the
+//     collector and exported as barrier-stall slices on the timeline.
 //
 // A background context with no sink and no collector yields a system
 // identical to NewSystem, with zero checkpoint overhead.
@@ -170,6 +174,7 @@ func (o Options) NewSystemCtx(ctx context.Context) *System {
 	cfg.Shards = o.Shards
 	tc := collectorFrom(ctx)
 	tlc := timelineFrom(ctx)
+	ssc := shardStatsFrom(ctx)
 	switch {
 	case tlc != nil:
 		// One SystemTracer can serve both collectors; the timeline
@@ -183,7 +188,15 @@ func (o Options) NewSystemCtx(ctx context.Context) *System {
 	case tc != nil:
 		cfg.Trace = tc.col.NewSystem()
 	}
+	if o.Shards >= 1 && (ssc != nil || tlc != nil) {
+		cfg.GroupTrace = &sim.GroupTracer{}
+	}
 	sys := NewSystem(cfg)
+	if cfg.GroupTrace != nil && ssc != nil {
+		if g := sys.Eng.Group(); g != nil {
+			ssc.register(g, cfg.GroupTrace)
+		}
+	}
 	attachCheckpoint(ctx, sys.Eng)
 	return sys
 }

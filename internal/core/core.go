@@ -55,6 +55,12 @@ type Config struct {
 	// cube and host as the system is assembled. Nil keeps every kernel
 	// hot path on its untraced fast path.
 	Trace *obs.SystemTracer
+
+	// GroupTrace, when non-nil on a sharded build, is installed as the
+	// engine group's lockstep observatory (barrier waits, window
+	// utilization, mailbox traffic); with Trace also set, each shard's
+	// samples land on that shard's timeline. Ignored on serial builds.
+	GroupTrace *sim.GroupTracer
 }
 
 // quadShard maps quadrant q to its group shard: everything on the hub
@@ -120,6 +126,18 @@ func NewSystem(cfg Config) *System {
 	s.HMC = hmc.New(engs, cfg.HMC, func(p *packet.Packet) { ctrl.OnResponse(p) })
 	ctrl = host.NewController(eng, cfg.Host, s.HMC)
 	s.Ctrl = ctrl
+	// Install the lockstep observatory last: hmc.New registered the
+	// shard clocks/timelines the per-shard tracks attach to.
+	if cfg.GroupTrace != nil {
+		if g := eng.Group(); g != nil {
+			if cfg.Trace != nil {
+				for i := 0; i < g.Shards(); i++ {
+					cfg.GroupTrace.AttachTimeline(i, cfg.Trace.ShardTimeline(i))
+				}
+			}
+			g.SetTrace(cfg.GroupTrace)
+		}
+	}
 	return s
 }
 

@@ -2,11 +2,14 @@ package exp
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
 	"testing"
+
+	"hmcsim"
 )
 
 // TestABGuard is the kernel-rewrite safety net: every registered
@@ -95,5 +98,43 @@ func TestShardedABGuard(t *testing.T) {
 					tc.name, tc.shards, tc.procs, len(got), len(want))
 			}
 		})
+	}
+}
+
+// TestTracedShardedABGuard is the observe-only contract of the lockstep
+// observatory at the result level: a sharded run with every collector
+// attached — trace summaries, timelines (which route barrier-stall
+// slices and per-shard counters), and the shard-stats observatory —
+// must still produce Result JSON byte-identical to the untraced serial
+// golden. Telemetry that perturbed event ordering, or leaked into the
+// Result, would diff here.
+func TestTracedShardedABGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("traced sharded A/B guard runs full quick experiments; skipped with -short")
+	}
+	for _, name := range []string{"fig6", "traffic-zipf"} {
+		for _, shards := range []int{1, 2, 4} {
+			name, shards := name, shards
+			t.Run(fmt.Sprintf("%s/shards=%d", name, shards), func(t *testing.T) {
+				want, err := os.ReadFile(filepath.Join("testdata", "ab", name+".json"))
+				if err != nil {
+					t.Fatalf("missing golden snapshot (run with HMCSIM_AB_UPDATE=1 to create): %v", err)
+				}
+				ctx, _ := hmcsim.WithTrace(context.Background())
+				ctx, _ = hmcsim.WithTimeline(ctx)
+				ctx, ssc := hmcsim.WithShardStats(ctx)
+				got := runJSONCtx(t, ctx, name, Options{Quick: true, Workers: 1, Shards: shards})
+				if !bytes.Equal(got, want) {
+					t.Errorf("%s at %d shards with observatory attached: Result JSON differs from the untraced serial golden (%d vs %d bytes); telemetry must observe, never perturb",
+						name, shards, len(got), len(want))
+				}
+				if ssc.Systems() == 0 {
+					t.Error("shard-stats collector saw no systems; the observatory was not wired")
+				}
+				if gs := ssc.Stats(); gs.Windows == 0 {
+					t.Error("observatory recorded no window opens over a full experiment")
+				}
+			})
+		}
 	}
 }

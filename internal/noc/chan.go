@@ -61,6 +61,14 @@ type Chan struct {
 	// their router).
 	Trace *obs.NoCTracer
 
+	// Stall, when non-nil, observes credit stalls: TryOut attempts
+	// refused by an empty credit pool. Kept separate from Trace because
+	// router-owned bridge slots must report stalls without re-counting
+	// hops their router already counted. TryOut always runs on the
+	// source engine, so the source shard's tracer is the race-free
+	// attribution.
+	Stall *obs.NoCTracer
+
 	fwdID, retID   uint64 // channel IDs for the two event directions
 	fwdSeq, retSeq uint64 // per-direction sequence numbers
 
@@ -70,6 +78,7 @@ type Chan struct {
 
 	received  uint64 // src-side: messages accepted
 	forwarded uint64 // src-side: credits returned
+	stalls    uint64 // src-side: TryOut refusals on an empty credit pool
 
 	delivFn func() // delivery event, runs on dst
 	retryFn func() // downstream freed up, runs on dst
@@ -121,6 +130,8 @@ func (c *Chan) Name() string { return c.name }
 // acceptance. A true return transfers ownership of m to the channel.
 func (c *Chan) TryOut(m *Message) bool {
 	if c.credits != nil && !c.credits.TryAcquire(1) {
+		c.stalls++
+		c.Stall.OnCreditStall()
 		return false
 	}
 	c.accept(m)
@@ -222,6 +233,10 @@ func (c *Chan) Forwarded() uint64 { return c.forwarded }
 // Queued returns the source-side occupancy: messages accepted whose
 // credit has not yet returned.
 func (c *Chan) Queued() int { return c.await.len() }
+
+// Stalls returns the number of TryOut attempts the credit pool refused:
+// how often upstream traffic found this bridge full.
+func (c *Chan) Stalls() uint64 { return c.stalls }
 
 // msgRing is a fixed-capacity FIFO of messages with single-writer
 // indices: only the producer touches tail, only the consumer touches

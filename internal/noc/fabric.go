@@ -130,9 +130,14 @@ func NewFabric(engs Engines, cfg Config, nQuads, vaultsPerQuad int,
 	for q := 0; q < nQuads; q++ {
 		for p := 0; p < nQuads; p++ {
 			if p != q {
-				f.ReqRouters[q].SetChan(vaultsPerQuad+p, NewChan(
+				ch := NewChan(
 					engs.Quad[q], engs.Quad[p], fmt.Sprintf("req.q%d-q%d", q, p),
-					cfg, cfg.InputBuffer, 0, f.ReqRouters[p]))
+					cfg, cfg.InputBuffer, 0, f.ReqRouters[p])
+				// Stall attribution goes to the source quadrant's tracer:
+				// TryOut runs on the source engine, and hops stay counted
+				// by the owning router (Stall, not Trace, avoids doubling).
+				ch.Stall = quadCfg(q).Trace
+				f.ReqRouters[q].SetChan(vaultsPerQuad+p, ch)
 			}
 		}
 	}
@@ -166,16 +171,20 @@ func NewFabric(engs Engines, cfg Config, nQuads, vaultsPerQuad int,
 	for q := 0; q < nQuads; q++ {
 		for l := 0; l < nLinks; l++ {
 			if linkHome[l] == q {
-				f.RespRouters[q].SetChan(l, NewChan(
+				ch := NewChan(
 					engs.Quad[q], engs.Hub, fmt.Sprintf("resp.q%d-out%d", q, l),
-					cfg, cfg.InputBuffer, 0, linkEgress[l]))
+					cfg, cfg.InputBuffer, 0, linkEgress[l])
+				ch.Stall = quadCfg(q).Trace
+				f.RespRouters[q].SetChan(l, ch)
 			}
 		}
 		for p := 0; p < nQuads; p++ {
 			if p != q {
-				f.RespRouters[q].SetChan(nLinks+p, NewChan(
+				ch := NewChan(
 					engs.Quad[q], engs.Quad[p], fmt.Sprintf("resp.q%d-q%d", q, p),
-					cfg, cfg.InputBuffer, 0, f.RespRouters[p]))
+					cfg, cfg.InputBuffer, 0, f.RespRouters[p])
+				ch.Stall = quadCfg(q).Trace
+				f.RespRouters[q].SetChan(nLinks+p, ch)
 			}
 		}
 	}

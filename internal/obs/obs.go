@@ -198,10 +198,12 @@ func (t *LinkTracer) OnRetry(serPs int64) {
 // every router of a system; engines are single-threaded, so the shared
 // counters need no synchronization.
 type NoCTracer struct {
-	Hops  uint64 // router admissions (each is one hop of a message's path)
-	Queue Hist   // router occupancy sampled at each admission
+	Hops   uint64 // router admissions (each is one hop of a message's path)
+	Stalls uint64 // bridge-channel admissions refused by an empty credit pool
+	Queue  Hist   // router occupancy sampled at each admission
 
 	tl  *TimelineTrack // hops over sim-time, when a timeline is enabled
+	tlS *TimelineTrack // credit stalls over sim-time
 	now func() int64
 }
 
@@ -215,6 +217,19 @@ func (t *NoCTracer) OnHop(queued int) {
 	t.Queue.Observe(queued)
 	if t.tl != nil {
 		t.tl.Add(t.now(), 1)
+	}
+}
+
+// OnCreditStall records a bridge-channel admission attempt that found
+// the credit pool empty — the fabric's cross-shard back-pressure
+// signal. No-op on nil.
+func (t *NoCTracer) OnCreditStall() {
+	if t == nil {
+		return
+	}
+	t.Stalls++
+	if t.tlS != nil {
+		t.tlS.Add(t.now(), 1)
 	}
 }
 
@@ -315,9 +330,20 @@ func (t *SystemTracer) ShardNoC(shard int) *NoCTracer {
 		if st.tl != nil {
 			st.noc.now = st.clock
 			st.noc.tl = st.tl.Track("noc hops")
+			st.noc.tlS = st.tl.Track("noc credit stalls")
 		}
 	}
 	return st.noc
+}
+
+// ShardTimeline returns engine shard s's private timeline when one was
+// registered, falling back to the system timeline (the hub shard and
+// serial builds) and to nil when timelines are disabled.
+func (t *SystemTracer) ShardTimeline(shard int) *Timeline {
+	if st := t.shards[shard]; st != nil && st.tl != nil {
+		return st.tl
+	}
+	return t.timeline
 }
 
 // ShardVault is Vault(id) for a vault living on engine shard s: the
@@ -360,6 +386,7 @@ func (t *SystemTracer) SetClock(fn func() int64) {
 	}
 	t.NoC.now = fn
 	t.NoC.tl = t.timeline.Track("noc hops")
+	t.NoC.tlS = t.timeline.Track("noc credit stalls")
 	t.Host.now = fn
 	t.Host.tl = t.timeline.Track("host tags")
 	t.Host.tlW = t.timeline.Track("host tag waits")
@@ -487,8 +514,9 @@ type LinkSummary struct {
 
 // NoCSummary aggregates the fabric tracers.
 type NoCSummary struct {
-	Hops  uint64      `json:"hops"`
-	Queue HistSummary `json:"queue"`
+	Hops   uint64      `json:"hops"`
+	Stalls uint64      `json:"stalls"`
+	Queue  HistSummary `json:"queue"`
 }
 
 // HostSummary aggregates the tag-pool tracers.
@@ -545,10 +573,12 @@ func (c *Collector) Summary() *Summary {
 			a.WindowPs += window
 		}
 		s.NoC.Hops += sys.NoC.Hops
+		s.NoC.Stalls += sys.NoC.Stalls
 		nocQ.Merge(&sys.NoC.Queue)
 		for _, st := range sys.shards {
 			if st.noc != nil {
 				s.NoC.Hops += st.noc.Hops
+				s.NoC.Stalls += st.noc.Stalls
 				nocQ.Merge(&st.noc.Queue)
 			}
 		}
@@ -605,7 +635,7 @@ func (s *Summary) String() string {
 		fmt.Fprintf(&b, "  %-12s packets=%-10d flits=%-10d retries=%-6d util=%.1f%%\n",
 			l.Name, l.Packets, l.Flits, l.Retries, 100*l.Utilization)
 	}
-	fmt.Fprintf(&b, "  noc: hops=%d queue %s\n", s.NoC.Hops, s.NoC.Queue)
+	fmt.Fprintf(&b, "  noc: hops=%d credit stalls=%d queue %s\n", s.NoC.Hops, s.NoC.Stalls, s.NoC.Queue)
 	fmt.Fprintf(&b, "  host: tag takes=%d waits=%d outstanding %s\n",
 		s.Host.TagTakes, s.Host.TagWaits, s.Host.Outstanding)
 	return b.String()

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -42,6 +43,11 @@ type Fleet struct {
 	// Calls are serialized, so the callback may write to a shared
 	// writer without its own locking.
 	Logf func(format string, args ...any)
+	// Logger, when set, receives the same fleet events as structured
+	// records, each stamped with the run's trace ID so they correlate
+	// with the daemons' own job-lifecycle logs. nil disables; it is
+	// independent of Logf, so either or both may be wired.
+	Logger *slog.Logger
 	// OnDone, when set, is called as each unique spec reaches a
 	// successful terminal view — completion order, not submission
 	// order — so long batched runs can report progress while Run
@@ -256,6 +262,16 @@ func (f *Fleet) Run(ctx context.Context, specs []hmcsim.Spec) ([]JobView, error)
 	}
 }
 
+// logEvent emits one structured fleet event through the Fleet's Logger,
+// stamping the run's trace ID so fleet-side records line up with the
+// daemons' job-lifecycle logs. No-op without a Logger.
+func (r *fleetRun) logEvent(msg string, args ...any) {
+	if r.f.Logger == nil {
+		return
+	}
+	r.f.Logger.Info(msg, append([]any{"traceId", r.traceID}, args...)...)
+}
+
 // finish records one unique spec's terminal view.
 func (r *fleetRun) finish(it fleetItem, v JobView) {
 	if r.f.OnDone != nil {
@@ -296,6 +312,7 @@ func (r *fleetRun) requeue(it fleetItem, c *Client, cause error) {
 // with work still outstanding, the run cannot make progress.
 func (r *fleetRun) daemonDied(c *Client, cause error) {
 	r.f.logf("daemon %s failed over: %v", c.Base, cause)
+	r.logEvent("daemon failover", "daemon", c.Base, "error", fmt.Sprint(cause))
 	if r.live.Add(-1) == 0 && r.remaining.Load() > 0 {
 		r.fail(fmt.Errorf("all daemons unreachable (last: %s): %w", c.Base, cause))
 	}
@@ -544,6 +561,7 @@ func (r *fleetRun) reportSpans(c *Client, pr pollResult) {
 	sv, err := c.Spans(ctx, pr.view.ID)
 	if err != nil {
 		r.f.logf("could not fetch spans for job %s on %s: %v", pr.view.ID, c.Base, err)
+		r.logEvent("span fetch failed", "job", pr.view.ID, "daemon", c.Base, "error", err.Error())
 		return
 	}
 	r.f.logMu.Lock()
@@ -562,8 +580,10 @@ func (r *fleetRun) poll(ctx context.Context, c *Client, it fleetItem, id string,
 	if err != nil && !v.State.Terminal() {
 		if cerr := c.CancelOrphan(id); cerr != nil {
 			r.f.logf("could not cancel job %s on %s: %v", id, c.Base, cerr)
+			r.logEvent("orphan cancel failed", "job", id, "daemon", c.Base, "error", cerr.Error())
 		} else {
 			r.f.logf("canceled job %s on %s", id, c.Base)
+			r.logEvent("orphan canceled", "job", id, "daemon", c.Base)
 		}
 	}
 	resc <- pollResult{it: it, view: v, err: err}

@@ -92,6 +92,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "hmcsim_worker_busy_seconds_total{worker=\"%d\"} %g\n", ws.Worker, ws.BusyMs/1000)
 	}
 
+	// Per-shard lockstep telemetry, present only when the daemon runs a
+	// sharded engine: cumulative wall time each shard spent waiting at
+	// window barriers, and the derived busy ratio. The shard label is
+	// the lockstep position (0 = hub, 1..n-1 = quadrant shards).
+	if len(st.ShardBarrierMs) > 0 {
+		fmt.Fprintf(&b, "# HELP hmcsim_shard_barrier_wait_ms Wall milliseconds each engine shard spent at window barriers.\n# TYPE hmcsim_shard_barrier_wait_ms counter\n")
+		for i, ms := range st.ShardBarrierMs {
+			fmt.Fprintf(&b, "hmcsim_shard_barrier_wait_ms{shard=\"%d\"} %g\n", i, ms)
+		}
+	}
+	if len(st.ShardBusyRatio) > 0 {
+		fmt.Fprintf(&b, "# HELP hmcsim_shard_busy_ratio Fraction of each shard's wall time spent executing events rather than waiting at barriers.\n# TYPE hmcsim_shard_busy_ratio gauge\n")
+		for i, ratio := range st.ShardBusyRatio {
+			fmt.Fprintf(&b, "hmcsim_shard_busy_ratio{shard=\"%d\"} %g\n", i, ratio)
+		}
+	}
+
 	counter("hmcsim_sim_events_total", "Engine events retired across all jobs.", float64(st.SimEvents))
 	counter("hmcsim_sim_time_seconds_total", "Simulated time advanced across all jobs.", st.SimTimeMs/1000)
 	counter("hmcsim_sweep_points_total", "Sweep points completed across all jobs.", float64(st.SweepPoints))

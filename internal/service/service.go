@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -64,6 +65,11 @@ type Config struct {
 	// flagged slow in the flight recorder. 0 means 10s; negative
 	// disables slow marking.
 	SlowJob time.Duration
+	// Logger, when non-nil, receives structured job-lifecycle records
+	// (admission, terminal state, latency) with the job's trace ID
+	// attached, so daemon logs correlate with spans and flight records.
+	// Nil disables lifecycle logging.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -263,8 +269,19 @@ func (s *Server) runJob(j *Job, worker int) {
 		last = p
 		j.setProgress(p)
 	})
+	// Sharded jobs carry the lockstep observatory so the flight record
+	// can attribute latency to barrier waits. The telemetry never folds
+	// into the Result itself: cached bytes stay byte-identical to
+	// serial and local runs.
+	var ssc *hmcsim.ShardStatsCollector
+	if o.Shards >= 1 {
+		pctx, ssc = hmcsim.WithShardStats(pctx)
+	}
 	res, err := runSafely(pctx, runner, o)
 	j.markRunEnd()
+	if ssc != nil {
+		j.setShardStats(ssc.Stats())
+	}
 	switch {
 	case j.ctx.Err() != nil:
 		// The sweep returned early with partial data; discard it.
@@ -280,6 +297,28 @@ func (s *Server) runJob(j *Job, worker int) {
 		}
 		s.cache.Put(j.key, blob)
 		j.complete(o, false)
+	}
+}
+
+// recordFlight is every job's terminal hook: the flight recorder keeps
+// the record, and the structured logger (when configured) emits it as a
+// trace-correlated lifecycle line. Called under the job's mutex, so
+// both sinks must stay leaf-locked.
+func (s *Server) recordFlight(r FlightRecord) {
+	s.flight.add(r)
+	s.logJob("job finished",
+		"job", r.ID, "exp", r.Exp, "traceId", r.TraceID,
+		"state", string(r.State), "cached", r.Cached, "worker", r.Worker,
+		"queueMs", r.QueueMs, "runMs", r.RunMs, "totalMs", r.TotalMs,
+		"shards", r.Shards, "barrierWaitMs", r.BarrierWaitMs,
+		"error", r.Error)
+}
+
+// logJob emits one structured lifecycle record when a logger is
+// configured; a nil logger costs one branch.
+func (s *Server) logJob(msg string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Info(msg, args...)
 	}
 }
 
@@ -505,12 +544,15 @@ func (s *Server) submit(specs []hmcsim.Spec, traceID string) ([]*Job, error) {
 			done:    make(chan struct{}),
 			traceID: traceID,
 			worker:  -1,
-			record:  s.flight.add,
+			record:  s.recordFlight,
 		}
 		j.submitted = received
 		j.marks.received = received
 		j.marks.queued = time.Now()
 		jobs[i] = j
+		s.logJob("job admitted",
+			"job", j.id, "exp", spec.Exp, "traceId", j.traceID,
+			"cached", disp[i] == dispHit, "adopted", disp[i] == dispAdoptTwin || disp[i] == dispAdoptBatch)
 		switch disp[i] {
 		case dispHit:
 			j.markCacheDone()
@@ -638,12 +680,16 @@ type Stats struct {
 	SimTimeMs   float64 `json:"simTimeMs"`
 	SweepPoints uint64  `json:"sweepPoints"`
 	// EngineShards is the per-simulation shard count jobs run with (0 =
-	// serial reference engine); ShardBusyMs, present only when sharded,
-	// is cumulative wall-clock execution time per shard index across
-	// every sharded engine the process has run — the skew between
-	// entries shows how evenly the cube partitions.
-	EngineShards int       `json:"engineShards"`
-	ShardBusyMs  []float64 `json:"shardBusyMs,omitempty"`
+	// serial reference engine); ShardBusyMs, ShardBarrierMs and
+	// ShardBusyRatio, present only when sharded, are cumulative
+	// wall-clock execution / barrier-wait time per shard index across
+	// every sharded engine the process has run, and busy's share of
+	// their sum — the skew between entries shows how evenly the cube
+	// partitions, and low ratios show barrier-bound partitions.
+	EngineShards   int       `json:"engineShards"`
+	ShardBusyMs    []float64 `json:"shardBusyMs,omitempty"`
+	ShardBarrierMs []float64 `json:"shardBarrierMs,omitempty"`
+	ShardBusyRatio []float64 `json:"shardBusyRatio,omitempty"`
 }
 
 // WorkerStatView is one worker's row in Stats.
@@ -678,38 +724,47 @@ func (s *Server) Snapshot() Stats {
 			IdleMs: float64(idle.Microseconds()) / 1000,
 		}
 	}
-	var shardBusy []float64
+	var shardBusy, shardBarrier, shardRatio []float64
 	if s.cfg.Shards > 0 {
 		busyNs := sim.ShardBusyNanos()
+		barNs := sim.ShardBarrierNanos()
 		n := s.cfg.Shards
 		if n > len(busyNs) {
 			n = len(busyNs)
 		}
 		shardBusy = make([]float64, n)
+		shardBarrier = make([]float64, n)
+		shardRatio = make([]float64, n)
 		for i := range shardBusy {
 			shardBusy[i] = float64(busyNs[i]) / 1e6
+			shardBarrier[i] = float64(barNs[i]) / 1e6
+			if total := shardBusy[i] + shardBarrier[i]; total > 0 {
+				shardRatio[i] = shardBusy[i] / total
+			}
 		}
 	}
 	return Stats{
-		Experiments:   len(s.names),
-		Workers:       s.cfg.Workers,
-		EngineShards:  s.cfg.Shards,
-		ShardBusyMs:   shardBusy,
-		QueueDepth:    queued,
-		QueueCap:      s.cfg.QueueDepth,
-		Jobs:          jobs,
-		Cache:         s.cache.Stats(),
-		Inflight:      int(s.running.Load()),
-		InflightPeak:  int(s.runningPeak.Load()),
-		Batches:       s.batches.Load(),
-		BatchSpecs:    s.batchSpecs.Load(),
-		UptimeSeconds: uptime.Seconds(),
-		Version:       version(),
-		Goroutines:    runtime.NumGoroutine(),
-		WorkerStats:   ws,
-		SimEvents:     s.simEvents.Load(),
-		SimTimeMs:     float64(s.simTimePs.Load()) / 1e9,
-		SweepPoints:   s.sweepPoints.Load(),
+		Experiments:    len(s.names),
+		Workers:        s.cfg.Workers,
+		EngineShards:   s.cfg.Shards,
+		ShardBusyMs:    shardBusy,
+		ShardBarrierMs: shardBarrier,
+		ShardBusyRatio: shardRatio,
+		QueueDepth:     queued,
+		QueueCap:       s.cfg.QueueDepth,
+		Jobs:           jobs,
+		Cache:          s.cache.Stats(),
+		Inflight:       int(s.running.Load()),
+		InflightPeak:   int(s.runningPeak.Load()),
+		Batches:        s.batches.Load(),
+		BatchSpecs:     s.batchSpecs.Load(),
+		UptimeSeconds:  uptime.Seconds(),
+		Version:        version(),
+		Goroutines:     runtime.NumGoroutine(),
+		WorkerStats:    ws,
+		SimEvents:      s.simEvents.Load(),
+		SimTimeMs:      float64(s.simTimePs.Load()) / 1e9,
+		SweepPoints:    s.sweepPoints.Load(),
 	}
 }
 

@@ -35,6 +35,23 @@ func ShardBusyNanos() [MaxShards]int64 {
 	return out
 }
 
+// globalShardBarrier is the counterpart of globalShardBusy for time
+// spent at window barriers (arrival to release). busy vs barrier is the
+// process-wide "was sharding worth it" signal, available without any
+// tracer attached.
+var globalShardBarrier [MaxShards]atomic.Int64
+
+// ShardBarrierNanos returns cumulative per-shard wall-clock nanoseconds
+// spent waiting at lockstep barriers across all Groups in this process.
+// Index 0 is the hub shard.
+func ShardBarrierNanos() [MaxShards]int64 {
+	var out [MaxShards]int64
+	for i := range out {
+		out[i] = globalShardBarrier[i].Load()
+	}
+	return out
+}
+
 // crossEvent is an event in flight between shards: the (at, key, fn)
 // triple destined for another shard's heap.
 type crossEvent struct {
@@ -89,7 +106,20 @@ type Group struct {
 	// barrier once total fired events advance by the hub's ckEvery.
 	ckFired uint64
 
-	busy []atomic.Int64 // wall-clock ns executing events, per shard
+	busy    []atomic.Int64 // wall-clock ns executing events, per shard
+	barrier []atomic.Int64 // wall-clock ns waiting at barriers, per shard
+
+	trace *GroupTracer // optional lockstep observatory; nil = no hooks
+
+	// Abort protocol: a shard that panics mid-window records the value
+	// and raises aborted; spinning siblings poll it so nobody stays
+	// parked on a barrier that will never release. run() re-raises the
+	// panic on the hub after every goroutine has drained, preserving
+	// the serial engine's panic semantics. The group is not reusable
+	// after an abort.
+	aborted  atomic.Bool
+	abortMu  sync.Mutex
+	abortVal any
 }
 
 // NewGroup builds a group of shards engines, all at time zero. Shard 0
@@ -107,6 +137,7 @@ func NewGroup(shards int) *Group {
 		par:     make([]int, shards),
 		mins:    make([]Time, shards),
 		busy:    make([]atomic.Int64, shards),
+		barrier: make([]atomic.Int64, shards),
 	}
 	for i := range g.engines {
 		g.engines[i] = &Engine{g: g, shard: i, outMin: maxTime}
@@ -139,6 +170,25 @@ func (g *Group) BusyNanos() []int64 {
 	}
 	return out
 }
+
+// BarrierNanos returns per-shard wall-clock nanoseconds spent at window
+// barriers (arrival to release) since the group was created. Together
+// with BusyNanos it bounds the useful parallelism of the partition.
+func (g *Group) BarrierNanos() []int64 {
+	out := make([]int64, len(g.engines))
+	for i := range out {
+		out[i] = g.barrier[i].Load()
+	}
+	return out
+}
+
+// SetTrace installs (or removes, with nil) the group's lockstep
+// observatory. Call between runs only; hooks fire from every shard's
+// goroutine during a run.
+func (g *Group) SetTrace(t *GroupTracer) { g.trace = t }
+
+// Trace returns the installed lockstep observatory, nil if none.
+func (g *Group) Trace() *GroupTracer { return g.trace }
 
 // observeLookahead narrows the lockstep window to d if smaller. Called
 // during single-threaded model construction via Engine.ObserveLookahead.
@@ -207,18 +257,47 @@ func (g *Group) run(hub *Engine, until Time, drain bool) Time {
 	g.next = m + g.window
 	g.arrived.Store(0)
 	g.sense.Store(0)
+	g.aborted.Store(false)
+	g.abortVal = nil
 
 	var wg sync.WaitGroup
 	for i := 1; i < len(g.engines); i++ {
 		wg.Add(1)
 		go func(i int) {
+			// recoverShard is registered after Done so it runs first:
+			// the abort flag is fully published before the hub can
+			// pass wg.Wait.
 			defer wg.Done()
+			defer g.recoverShard()
 			g.shardLoop(i)
 		}(i)
 	}
-	g.shardLoop(0)
+	func() {
+		defer g.recoverShard()
+		g.shardLoop(0)
+	}()
 	wg.Wait()
+	if g.aborted.Load() {
+		v := g.abortVal
+		g.abortVal = nil
+		panic(v)
+	}
 	return hub.now
+}
+
+// recoverShard catches a panic escaping a shard's loop, records the
+// first panic value, and raises the abort flag so sibling shards
+// spinning at the barrier unpark and drain instead of waiting forever
+// for an arrival that will never come.
+func (g *Group) recoverShard() {
+	if r := recover(); r != nil {
+		g.abortMu.Lock()
+		if g.abortVal == nil {
+			g.abortVal = r
+		}
+		g.abortMu.Unlock()
+		g.aborted.Store(true)
+	}
 }
 
 // settleRun advances every shard's clock to until, as the serial engine
@@ -257,6 +336,7 @@ func (g *Group) shardLoop(i int) {
 	for {
 		wEnd := g.next
 		e.outMin = maxTime
+		nf := e.nfired
 		if len(e.pq) > 0 && e.pq[0].at < wEnd && e.pq[0].at <= until {
 			start := time.Now()
 			for len(e.pq) > 0 && e.pq[0].at < wEnd && e.pq[0].at <= until {
@@ -266,6 +346,7 @@ func (g *Group) shardLoop(i int) {
 			g.busy[i].Add(d)
 			globalShardBusy[i].Add(d)
 		}
+		g.trace.OnWindow(i, int64(e.now), int(e.nfired-nf))
 		m := e.outMin
 		if len(e.pq) > 0 && e.pq[0].at < m {
 			m = e.pq[0].at
@@ -274,7 +355,10 @@ func (g *Group) shardLoop(i int) {
 
 		// Sense-reversing barrier: the last arriver runs the serial
 		// section (checkpoint, stop/next-window decision), then flips
-		// the sense to release everyone.
+		// the sense to release everyone. The arrive-to-release span is
+		// the shard's barrier wait; for the last arriver that is the
+		// serial section it runs, keeping per-shard totals comparable.
+		bStart := time.Now()
 		sense ^= 1
 		if g.arrived.Add(1) == n {
 			g.windowBarrier()
@@ -282,23 +366,33 @@ func (g *Group) shardLoop(i int) {
 			g.sense.Store(sense)
 		} else {
 			for spins := 0; g.sense.Load() != sense; spins++ {
+				if g.aborted.Load() {
+					return
+				}
 				if spins > 256 {
 					runtime.Gosched()
 				}
 			}
 		}
+		wait := int64(time.Since(bStart))
+		g.barrier[i].Add(wait)
+		globalShardBarrier[i].Add(wait)
+		g.trace.OnBarrierWait(i, int64(e.now), wait)
 
 		// Merge the inbox written during the window just completed.
 		// Every entry is at least one window in the future, so AtKey's
 		// not-in-the-past guard doubles as an invariant check.
+		merged := 0
 		for s := 0; s < int(n); s++ {
 			box := g.boxes[parity][s][i]
+			merged += len(box)
 			for k := range box {
 				e.AtKey(box[k].at, box[k].key, box[k].fn)
 				box[k].fn = nil
 			}
 			g.boxes[parity][s][i] = box[:0]
 		}
+		g.trace.OnMerge(i, int64(e.now), merged)
 		parity ^= 1
 		g.par[i] = parity
 
@@ -341,6 +435,13 @@ func (g *Group) windowBarrier() {
 		g.stop = true
 		g.settleDrain()
 	default:
+		if g.trace != nil {
+			skip := int64(m) - int64(g.next)
+			if skip < 0 {
+				skip = 0
+			}
+			g.trace.OnWindowOpen(skip)
+		}
 		g.next = m + g.window
 	}
 }

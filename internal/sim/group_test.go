@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
+
+	"hmcsim/internal/obs"
 )
 
 // The toy model for group tests: a ring of nodes, each ticking on its
@@ -243,6 +246,126 @@ func TestGroupBusyNanos(t *testing.T) {
 	}
 }
 
+// TestGroupBarrierNanos checks the barrier-wait counters move alongside
+// the busy counters: every barrier passage is timed, so a run with any
+// lockstep windows at all accumulates nonzero total barrier time, and
+// the process-wide accumulators are never below the group's own.
+func TestGroupBarrierNanos(t *testing.T) {
+	g := NewGroup(2)
+	buildToyRing([]*Engine{g.Engine(0), g.Engine(1)}, 4, 30_000)
+	g.Engine(0).Run(30_000)
+	bar := g.BarrierNanos()
+	if len(bar) != 2 {
+		t.Fatalf("BarrierNanos len %d, want 2", len(bar))
+	}
+	var total int64
+	for i, b := range bar {
+		if b < 0 {
+			t.Fatalf("shard %d barrier %d ns, want >= 0", i, b)
+		}
+		total += b
+	}
+	if total == 0 {
+		t.Fatal("no barrier time recorded over a multi-window run")
+	}
+	global := ShardBarrierNanos()
+	if global[0] < bar[0] || global[1] < bar[1] {
+		t.Fatalf("global barrier %v below group barrier %v", global[:2], bar)
+	}
+}
+
+// TestGroupPanicAbortsAllShards is the teardown contract: a shard
+// panicking mid-window must unpark its siblings from the barrier, drain
+// every goroutine, and resurface the panic value on the hub — never
+// deadlock. Exercised for a quadrant shard and for the hub itself.
+func TestGroupPanicAbortsAllShards(t *testing.T) {
+	for _, panicShard := range []int{2, 0} {
+		t.Run(fmt.Sprintf("shard=%d", panicShard), func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			g := NewGroup(3)
+			engines := []*Engine{g.Engine(0), g.Engine(1), g.Engine(2)}
+			buildToyRing(engines, 6, 40_000)
+			engines[panicShard].Schedule(10_000, func() { panic("shard boom") })
+
+			var got any
+			func() {
+				defer func() { got = recover() }()
+				g.Engine(0).Run(40_000)
+			}()
+			if got != "shard boom" {
+				t.Fatalf("recovered %v, want \"shard boom\"", got)
+			}
+			// run() returns only after wg.Wait, so the shard goroutines
+			// are gone; verify nothing else leaked either.
+			deadline := time.Now().Add(time.Second)
+			for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+			if n := runtime.NumGoroutine(); n > before {
+				t.Fatalf("goroutines leaked after shard panic: %d > %d", n, before)
+			}
+		})
+	}
+}
+
+// TestGroupTracerMatchesSerial pins the observatory's two contracts at
+// kernel level: attaching a GroupTracer (with timelines) changes no
+// simulation outcome — the sharded log stays identical to the serial
+// reference — and the telemetry it gathers is populated.
+func TestGroupTracerMatchesSerial(t *testing.T) {
+	const nodes = 7
+	const stopAt = Time(60_000)
+	const until = Time(80_000)
+	want := runToySerial(nodes, stopAt, until, true)
+
+	const shards = 3
+	g := NewGroup(shards)
+	engines := make([]*Engine, shards)
+	for i := range engines {
+		engines[i] = g.Engine(i)
+	}
+	ns := buildToyRing(engines, nodes, stopAt)
+	tr := &GroupTracer{}
+	for i := 0; i < shards; i++ {
+		tr.AttachTimeline(i, obs.NewTimeline(0))
+	}
+	g.SetTrace(tr)
+	hub := g.Engine(0)
+	hub.Run(until)
+	hub.Drain()
+
+	got := toyLogs(ns)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatal("traced sharded log diverges from serial")
+	}
+	if tr.Windows == 0 {
+		t.Fatal("observatory saw no window opens")
+	}
+	for i := 0; i < shards; i++ {
+		st := tr.Shard(i)
+		if st.BarrierWait.Count == 0 {
+			t.Fatalf("shard %d: no barrier waits recorded", i)
+		}
+		if st.WindowEvents.Count == 0 {
+			t.Fatalf("shard %d: no windows recorded", i)
+		}
+		if st.Mailbox.Count == 0 {
+			t.Fatalf("shard %d: no mailbox merges recorded", i)
+		}
+	}
+	// Cross-shard traffic exists by construction, so some shard's
+	// mailbox high-water mark must be nonzero.
+	var peak uint64
+	for i := 0; i < shards; i++ {
+		if m := tr.Shard(i).Mailbox.Max; m > peak {
+			peak = m
+		}
+	}
+	if peak == 0 {
+		t.Fatal("no cross-shard events observed in any mailbox")
+	}
+}
+
 // TestGroupSteadyStateDoesNotAllocate pins the sharded hot path's
 // allocation contract: once a grouped run is warm, windows, barriers
 // and cross-shard mailbox handoffs allocate nothing, so total heap
@@ -287,5 +410,57 @@ func TestGroupSteadyStateDoesNotAllocate(t *testing.T) {
 	}
 	if mallocs > 64 {
 		t.Errorf("steady-state group run allocated %d objects over %d events; the window/mailbox hot path must not allocate", mallocs, events)
+	}
+}
+
+// TestGroupTracedSteadyStateDoesNotAllocate extends the allocation
+// contract to an attached observatory: histograms observe into fixed
+// arrays, timeline tracks fold in place and slice tracks merge in
+// place, so even with every hook live the steady-state window loop
+// allocates nothing.
+func TestGroupTracedSteadyStateDoesNotAllocate(t *testing.T) {
+	g := NewGroup(3)
+	a, b, c := g.Engine(0), g.Engine(1), g.Engine(2)
+	const lat = Time(2_000)
+	for _, pair := range [][2]*Engine{{a, b}, {b, c}, {c, a}, {a, c}} {
+		src, dst := pair[0], pair[1]
+		src.ObserveLookahead(lat)
+		dst.ObserveLookahead(lat)
+		fwdID, retID := src.AllocChanID(), dst.AllocChanID()
+		var fwdSeq, retSeq uint64
+		var fwd, ret func()
+		fwd = func() {
+			retSeq++
+			dst.CrossAt(src, dst.Now()+lat, ChanKey(retID, retSeq), ret)
+		}
+		ret = func() {
+			fwdSeq++
+			src.CrossAt(dst, src.Now()+lat, ChanKey(fwdID, fwdSeq), fwd)
+		}
+		src.Schedule(0, ret)
+	}
+	tr := &GroupTracer{}
+	for i := 0; i < 3; i++ {
+		tr.AttachTimeline(i, obs.NewTimeline(0))
+	}
+	g.SetTrace(tr)
+	hub := a
+	hub.Run(400_000) // warm-up: goroutines, heap and mailbox growth
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := hub.Fired()
+	hub.Run(4_000_000)
+	runtime.ReadMemStats(&after)
+	events := hub.Fired() - start
+	mallocs := after.Mallocs - before.Mallocs
+	if events < 1_000 {
+		t.Fatalf("ping-pong volley fired only %d events", events)
+	}
+	if mallocs > 64 {
+		t.Errorf("traced steady-state group run allocated %d objects over %d events; the observatory hooks must not allocate", mallocs, events)
+	}
+	if tr.Windows == 0 || tr.Shard(0).BarrierWait.Count == 0 {
+		t.Fatal("observatory hooks did not fire during the traced run")
 	}
 }

@@ -1,0 +1,230 @@
+package hmcsim
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"hmcsim/internal/obs"
+	"hmcsim/internal/sim"
+)
+
+// ShardStatsCollector gathers the lockstep observatories of every
+// sharded system a run builds (one per sweep point, typically) and
+// merges them into a GroupStats snapshot. Obtain one with
+// WithShardStats and read it after the run completes.
+type ShardStatsCollector struct {
+	mu     sync.Mutex
+	groups []shardStatsEntry
+}
+
+type shardStatsEntry struct {
+	g *sim.Group
+	t *sim.GroupTracer
+}
+
+type shardStatsKey struct{}
+
+// WithShardStats returns a context carrying a fresh shard-stats
+// collector. Systems built from the context via NewSystemCtx with
+// Options.Shards >= 1 install a lockstep observatory and register with
+// the collector; serial systems are unaffected.
+func WithShardStats(ctx context.Context) (context.Context, *ShardStatsCollector) {
+	c := &ShardStatsCollector{}
+	return context.WithValue(ctx, shardStatsKey{}, c), c
+}
+
+// shardStatsFrom extracts the collector installed by WithShardStats,
+// nil if none.
+func shardStatsFrom(ctx context.Context) *ShardStatsCollector {
+	c, _ := ctx.Value(shardStatsKey{}).(*ShardStatsCollector)
+	return c
+}
+
+func (c *ShardStatsCollector) register(g *sim.Group, t *sim.GroupTracer) {
+	c.mu.Lock()
+	c.groups = append(c.groups, shardStatsEntry{g, t})
+	c.mu.Unlock()
+}
+
+// Systems returns how many sharded systems have registered.
+func (c *ShardStatsCollector) Systems() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.groups)
+}
+
+// ShardDist is the wire form of a merged telemetry distribution.
+type ShardDist struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	Max   uint64  `json:"max"`
+}
+
+func distOf(h *obs.Hist) ShardDist {
+	return ShardDist{Count: h.Count, Mean: h.Mean(), Max: h.Max}
+}
+
+// ShardStat is one shard's merged lockstep telemetry.
+type ShardStat struct {
+	Shard     int     `json:"shard"`
+	BusyMs    float64 `json:"busyMs"`    // wall-clock ms executing events
+	BarrierMs float64 `json:"barrierMs"` // wall-clock ms at window barriers
+	BusyRatio float64 `json:"busyRatio"` // busy / (busy + barrier)
+
+	BarrierWaitNs ShardDist `json:"barrierWaitNs"` // per-window barrier wait, ns
+	WindowEvents  ShardDist `json:"windowEvents"`  // events executed per window
+	MailboxMerged ShardDist `json:"mailboxMerged"` // cross-shard events merged per barrier
+	MailboxPeak   uint64    `json:"mailboxPeak"`   // mailbox depth high-water mark
+}
+
+// GroupStats is the merged lockstep-observatory snapshot of a run:
+// what `hmcsim -shardstats` folds into the Result and renders as the
+// per-shard imbalance report.
+type GroupStats struct {
+	Systems  int       `json:"systems"`  // sharded systems observed
+	Shards   int       `json:"shards"`   // widest group's shard count
+	WindowPs int64     `json:"windowPs"` // lockstep safety window
+	Windows  uint64    `json:"windows"`  // windows opened at barriers
+	SkipPs   ShardDist `json:"skipPs"`   // idle sim-time skipped per window open
+
+	PerShard []ShardStat `json:"perShard,omitempty"`
+}
+
+// Stats merges every registered system's observatory. Call after the
+// traced runs complete; it reads state the shard goroutines wrote.
+func (c *ShardStatsCollector) Stats() GroupStats {
+	c.mu.Lock()
+	entries := append([]shardStatsEntry(nil), c.groups...)
+	c.mu.Unlock()
+
+	gs := GroupStats{Systems: len(entries)}
+	if len(entries) == 0 {
+		return gs
+	}
+	for _, e := range entries {
+		if n := e.g.Shards(); n > gs.Shards {
+			gs.Shards = n
+		}
+		if w := int64(e.g.Window()); w > gs.WindowPs {
+			gs.WindowPs = w
+		}
+	}
+	var skip obs.Hist
+	busyNs := make([]int64, gs.Shards)
+	barNs := make([]int64, gs.Shards)
+	type shardHists struct{ wait, events, mail obs.Hist }
+	hists := make([]shardHists, gs.Shards)
+	for _, e := range entries {
+		gs.Windows += e.t.Windows
+		skip.Merge(&e.t.WindowSkip)
+		busy := e.g.BusyNanos()
+		bar := e.g.BarrierNanos()
+		for i := 0; i < e.g.Shards(); i++ {
+			busyNs[i] += busy[i]
+			barNs[i] += bar[i]
+			st := e.t.Shard(i)
+			hists[i].wait.Merge(&st.BarrierWait)
+			hists[i].events.Merge(&st.WindowEvents)
+			hists[i].mail.Merge(&st.Mailbox)
+		}
+	}
+	gs.SkipPs = distOf(&skip)
+	gs.PerShard = make([]ShardStat, gs.Shards)
+	for i := range gs.PerShard {
+		busy := float64(busyNs[i]) / 1e6
+		bar := float64(barNs[i]) / 1e6
+		ratio := 0.0
+		if busy+bar > 0 {
+			ratio = busy / (busy + bar)
+		}
+		gs.PerShard[i] = ShardStat{
+			Shard:         i,
+			BusyMs:        busy,
+			BarrierMs:     bar,
+			BusyRatio:     ratio,
+			BarrierWaitNs: distOf(&hists[i].wait),
+			WindowEvents:  distOf(&hists[i].events),
+			MailboxMerged: distOf(&hists[i].mail),
+			MailboxPeak:   hists[i].mail.Max,
+		}
+	}
+	return gs
+}
+
+// SuggestedShards is a rule-of-thumb shard count for this workload: the
+// parallel-speedup bound (total busy time over the busiest shard's busy
+// time) rounded to the nearest count, clamped to [1, 5] (hub plus four
+// quadrants). 1 means "stay serial" — also the suggestion whenever
+// barrier waits dominate and the bound is below 2, since a partition
+// that mostly waits cannot pay for its barriers.
+func (s GroupStats) SuggestedShards() int {
+	var total, max, barrier float64
+	for _, sh := range s.PerShard {
+		total += sh.BusyMs
+		barrier += sh.BarrierMs
+		if sh.BusyMs > max {
+			max = sh.BusyMs
+		}
+	}
+	if max <= 0 {
+		return 1
+	}
+	bound := total / max
+	if bound < 2 && total/(total+barrier) < 0.5 {
+		return 1
+	}
+	n := int(bound + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	if n > 5 {
+		n = 5
+	}
+	return n
+}
+
+// Report renders the human-readable per-shard imbalance report printed
+// by `hmcsim -shardstats`.
+func (s GroupStats) Report() string {
+	var b strings.Builder
+	if s.Systems == 0 || s.Shards == 0 {
+		b.WriteString("shard report: no sharded systems ran (use -shards >= 2 to shard the engine)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "shard report (%d system", s.Systems)
+	if s.Systems != 1 {
+		b.WriteString("s")
+	}
+	fmt.Fprintf(&b, ", %d shards, window %d ps)\n", s.Shards, s.WindowPs)
+	fmt.Fprintf(&b, "  windows opened: %d, idle sim-time skipped per open: mean=%.0f ps max=%d ps\n",
+		s.Windows, s.SkipPs.Mean, s.SkipPs.Max)
+	var total, max float64
+	for _, sh := range s.PerShard {
+		total += sh.BusyMs
+		if sh.BusyMs > max {
+			max = sh.BusyMs
+		}
+	}
+	for _, sh := range s.PerShard {
+		role := "quad"
+		if sh.Shard == 0 {
+			role = "hub "
+		}
+		fmt.Fprintf(&b, "  shard %d (%s): busy=%8.2fms barrier=%8.2fms busy-ratio=%4.0f%%  events/window mean=%.1f  mailbox/barrier mean=%.1f peak=%d\n",
+			sh.Shard, role, sh.BusyMs, sh.BarrierMs, 100*sh.BusyRatio,
+			sh.WindowEvents.Mean, sh.MailboxMerged.Mean, sh.MailboxPeak)
+	}
+	if max > 0 {
+		fmt.Fprintf(&b, "  speedup bound from imbalance: %.2fx (total busy / busiest shard)\n", total/max)
+	}
+	n := s.SuggestedShards()
+	switch {
+	case n <= 1:
+		b.WriteString("  suggestion: stay serial (-shards 0); barrier waits dominate the busy time this partition exposes\n")
+	default:
+		fmt.Fprintf(&b, "  suggestion: -shards %d\n", n)
+	}
+	return b.String()
+}

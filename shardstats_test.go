@@ -1,0 +1,112 @@
+// Tests for the lockstep observatory's public surface: WithShardStats
+// collection, report rendering, determinism, and sharded teardown under
+// a canceled context.
+package hmcsim_test
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"hmcsim"
+)
+
+func TestWithShardStatsCollects(t *testing.T) {
+	ctx, ssc := hmcsim.WithShardStats(context.Background())
+	o := hmcsim.Options{Quick: true, Shards: 4}
+	runQuickGUPS(o.NewSystemCtx(ctx))
+
+	if ssc.Systems() != 1 {
+		t.Fatalf("collector saw %d systems, want 1", ssc.Systems())
+	}
+	gs := ssc.Stats()
+	if gs.Shards != 4 {
+		t.Fatalf("Stats.Shards = %d, want 4", gs.Shards)
+	}
+	if gs.WindowPs <= 0 {
+		t.Fatalf("Stats.WindowPs = %d, want > 0", gs.WindowPs)
+	}
+	if gs.Windows == 0 {
+		t.Fatal("no window opens observed over a full GUPS run")
+	}
+	if len(gs.PerShard) != 4 {
+		t.Fatalf("PerShard has %d entries, want 4", len(gs.PerShard))
+	}
+	for _, sh := range gs.PerShard {
+		if sh.BarrierWaitNs.Count == 0 {
+			t.Fatalf("shard %d: no barrier waits recorded", sh.Shard)
+		}
+		if sh.BusyRatio < 0 || sh.BusyRatio > 1 {
+			t.Fatalf("shard %d: busy ratio %v out of [0,1]", sh.Shard, sh.BusyRatio)
+		}
+	}
+	rep := gs.Report()
+	for _, want := range []string{"shard report", "windows opened", "speedup bound", "suggestion:"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	if n := gs.SuggestedShards(); n < 1 || n > 5 {
+		t.Errorf("SuggestedShards() = %d, want within [1, 5]", n)
+	}
+}
+
+// TestWithShardStatsSerialRun: a serial build registers nothing, and the
+// report says so instead of fabricating shard rows.
+func TestWithShardStatsSerialRun(t *testing.T) {
+	ctx, ssc := hmcsim.WithShardStats(context.Background())
+	o := hmcsim.Options{Quick: true}
+	runQuickGUPS(o.NewSystemCtx(ctx))
+	if ssc.Systems() != 0 {
+		t.Fatalf("serial run registered %d sharded systems", ssc.Systems())
+	}
+	if rep := ssc.Stats().Report(); !strings.Contains(rep, "no sharded systems") {
+		t.Errorf("empty report = %q, want the no-sharded-systems notice", rep)
+	}
+}
+
+// TestShardStatsDoesNotChangeResults guards the observatory's
+// observe-only contract: measurements with the collector attached are
+// bit-identical to an untraced sharded run.
+func TestShardStatsDoesNotChangeResults(t *testing.T) {
+	o := hmcsim.Options{Quick: true, Seed: 3, Shards: 2}
+	run := func(ctx context.Context) hmcsim.Measurement {
+		sys := o.NewSystemCtx(ctx)
+		return hmcsim.GUPS{
+			Ports: 2, Size: 64, Pattern: hmcsim.AllVaults,
+			Warmup: 2 * hmcsim.Microsecond, Window: 10 * hmcsim.Microsecond,
+		}.Run(sys)
+	}
+	plain := run(context.Background())
+	sctx, _ := hmcsim.WithShardStats(context.Background())
+	traced := run(sctx)
+	if !reflect.DeepEqual(plain, traced) {
+		t.Errorf("shard-stats collection changed the measurement:\n plain  %+v\n traced %+v", plain, traced)
+	}
+}
+
+// TestCanceledContextShardedTeardown is the teardown regression test: a
+// sharded system built from an already-canceled context must interrupt
+// promptly — no shard may stay parked on a barrier — and leak no
+// goroutines.
+func TestCanceledContextShardedTeardown(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := hmcsim.Options{Quick: true, Shards: 4}
+	sys := o.NewSystemCtx(ctx)
+	runQuickGUPS(sys)
+	if !sys.Eng.Interrupted() {
+		t.Fatal("canceled context did not interrupt the sharded run")
+	}
+	deadline := time.Now().Add(time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutines leaked after canceled sharded run: %d > %d", n, before)
+	}
+}
