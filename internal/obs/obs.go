@@ -42,6 +42,8 @@ type Hist struct {
 }
 
 // Observe records one sample. Negative values clamp to zero.
+//
+//hmcsim:hotpath
 func (h *Hist) Observe(v int) {
 	if v < 0 {
 		v = 0
@@ -137,6 +139,8 @@ type VaultTracer struct {
 
 // OnAccept records an admission at the given controller occupancy
 // (input buffer plus bank queues, after insertion). No-op on nil.
+//
+//hmcsim:hotpath
 func (t *VaultTracer) OnAccept(occupancy int) {
 	if t == nil {
 		return
@@ -149,6 +153,8 @@ func (t *VaultTracer) OnAccept(occupancy int) {
 }
 
 // OnReject records a full-input-buffer rejection. No-op on nil.
+//
+//hmcsim:hotpath
 func (t *VaultTracer) OnReject() {
 	if t == nil {
 		return
@@ -172,6 +178,8 @@ type LinkTracer struct {
 
 // OnTx records a successfully serialized packet and the serializer
 // time it occupied. No-op on nil.
+//
+//hmcsim:hotpath
 func (t *LinkTracer) OnTx(flits int, serPs int64) {
 	if t == nil {
 		return
@@ -186,6 +194,8 @@ func (t *LinkTracer) OnTx(flits int, serPs int64) {
 
 // OnRetry records a CRC-triggered retransmission; the corrupted pass
 // still occupied the serializer for serPs. No-op on nil.
+//
+//hmcsim:hotpath
 func (t *LinkTracer) OnRetry(serPs int64) {
 	if t == nil {
 		return
@@ -209,6 +219,8 @@ type NoCTracer struct {
 
 // OnHop records one router admission at the given router occupancy.
 // No-op on nil.
+//
+//hmcsim:hotpath
 func (t *NoCTracer) OnHop(queued int) {
 	if t == nil {
 		return
@@ -223,6 +235,8 @@ func (t *NoCTracer) OnHop(queued int) {
 // OnCreditStall records a bridge-channel admission attempt that found
 // the credit pool empty — the fabric's cross-shard back-pressure
 // signal. No-op on nil.
+//
+//hmcsim:hotpath
 func (t *NoCTracer) OnCreditStall() {
 	if t == nil {
 		return
@@ -247,6 +261,8 @@ type HostTracer struct {
 
 // OnTagTake records a successful acquisition with the pool's resulting
 // outstanding count. No-op on nil.
+//
+//hmcsim:hotpath
 func (t *HostTracer) OnTagTake(outstanding int) {
 	if t == nil {
 		return
@@ -260,6 +276,8 @@ func (t *HostTracer) OnTagTake(outstanding int) {
 
 // OnTagWait records an issue attempt that found the pool empty. No-op
 // on nil.
+//
+//hmcsim:hotpath
 func (t *HostTracer) OnTagWait() {
 	if t == nil {
 		return
@@ -303,6 +321,9 @@ type shardState struct {
 // samples for that shard land in a shard-private timeline exported as
 // its own process. Call after SetClock, during system assembly.
 func (t *SystemTracer) ShardClock(shard int, clock func() int64) {
+	if t == nil {
+		return
+	}
 	if t.shards == nil {
 		t.shards = map[int]*shardState{}
 	}
@@ -321,6 +342,9 @@ func (t *SystemTracer) ShardClock(shard int, clock func() int64) {
 // tracer when ShardClock registered the shard, the primary NoC tracer
 // otherwise (the serial build's single shared tracer).
 func (t *SystemTracer) ShardNoC(shard int) *NoCTracer {
+	if t == nil {
+		return nil
+	}
 	st := t.shards[shard]
 	if st == nil {
 		return &t.NoC
@@ -340,6 +364,9 @@ func (t *SystemTracer) ShardNoC(shard int) *NoCTracer {
 // registered, falling back to the system timeline (the hub shard and
 // serial builds) and to nil when timelines are disabled.
 func (t *SystemTracer) ShardTimeline(shard int) *Timeline {
+	if t == nil {
+		return nil
+	}
 	if st := t.shards[shard]; st != nil && st.tl != nil {
 		return st.tl
 	}
@@ -350,6 +377,9 @@ func (t *SystemTracer) ShardTimeline(shard int) *Timeline {
 // tracer's clock and timeline tracks come from that shard. Falls back
 // to Vault(id) when the shard is unregistered.
 func (t *SystemTracer) ShardVault(id, shard int) *VaultTracer {
+	if t == nil {
+		return nil
+	}
 	st := t.shards[shard]
 	if st == nil {
 		return t.Vault(id)
@@ -370,16 +400,27 @@ func (t *SystemTracer) ShardVault(id, shard int) *VaultTracer {
 // clocked) afterwards record their activity into per-component tracks.
 // Call before the system is constructed — i.e. before SetClock runs.
 func (t *SystemTracer) EnableTimeline(tl *Timeline) {
+	if t == nil {
+		return
+	}
 	t.timeline = tl
 }
 
 // Timeline returns the attached timeline, nil when disabled.
-func (t *SystemTracer) Timeline() *Timeline { return t.timeline }
+func (t *SystemTracer) Timeline() *Timeline {
+	if t == nil {
+		return nil
+	}
+	return t.timeline
+}
 
 // SetClock installs the owning engine's clock; the collector reads it
 // once per summary as the utilization window, and an enabled timeline
 // uses it to place samples on the sim-time axis.
 func (t *SystemTracer) SetClock(fn func() int64) {
+	if t == nil {
+		return
+	}
 	t.now = fn
 	if t.timeline == nil {
 		return
@@ -417,6 +458,9 @@ func (t *SystemTracer) attachLink(name string, lt *LinkTracer) {
 
 // Vault returns (growing on demand) the tracer for vault id.
 func (t *SystemTracer) Vault(id int) *VaultTracer {
+	if t == nil {
+		return nil
+	}
 	for len(t.vaults) <= id {
 		vt := &VaultTracer{}
 		t.attachVault(len(t.vaults), vt)
@@ -428,6 +472,9 @@ func (t *SystemTracer) Vault(id int) *VaultTracer {
 // Link returns (creating on demand) the tracer for the named link
 // direction.
 func (t *SystemTracer) Link(name string) *LinkTracer {
+	if t == nil {
+		return nil
+	}
 	for i, n := range t.names {
 		if n == name {
 			return t.links[i]

@@ -80,6 +80,8 @@ func (tl *Timeline) Tracks() []*TimelineTrack {
 
 // fold halves the resolution: bucket width doubles and adjacent buckets
 // merge, freeing the upper half of every track for later samples.
+//
+//hmcsim:hotpath
 func (tl *Timeline) fold() {
 	tl.widthPs *= 2
 	for _, tr := range tl.tracks {
@@ -104,6 +106,8 @@ type TimelineTrack struct {
 // needed so the sample always lands inside the covered range. No-op on
 // a nil track and allocation-free otherwise: folds rewrite the fixed
 // arrays in place.
+//
+//hmcsim:hotpath
 func (tr *TimelineTrack) Add(tPs int64, n uint64) {
 	if tr == nil {
 		return
@@ -182,6 +186,8 @@ func (tl *Timeline) SliceTracks() []*SliceTrack {
 
 // Add records one slice of durNs wall-clock nanoseconds at simulated
 // time tPs. No-op on a nil track; allocation-free otherwise.
+//
+//hmcsim:hotpath
 func (st *SliceTrack) Add(tPs, durNs int64) {
 	if st == nil {
 		return

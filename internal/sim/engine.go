@@ -170,6 +170,8 @@ func (e *Engine) ObserveLookahead(d Time) {
 func (e *Engine) Pending() int { return len(e.pq) }
 
 // Schedule runs fn after delay. A negative delay is treated as zero.
+//
+//hmcsim:hotpath
 func (e *Engine) Schedule(delay Time, fn func()) {
 	if delay < 0 {
 		delay = 0
@@ -177,11 +179,22 @@ func (e *Engine) Schedule(delay Time, fn func()) {
 	e.At(e.now+delay, fn)
 }
 
+// scheduleInPast reports the broken-model error out of line: the panic
+// path is cold by definition, and hoisting it keeps fmt (and the
+// boxing its arguments imply) out of the annotated scheduling paths.
+//
+//go:noinline
+func scheduleInPast(t, now Time) {
+	panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, now))
+}
+
 // At runs fn at absolute time t. Scheduling in the past is an error
 // that indicates a broken component model, so it panics.
+//
+//hmcsim:hotpath
 func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+		scheduleInPast(t, e.now)
 	}
 	e.seq++
 	e.push(event{at: t, key: e.seq, fn: fn})
@@ -191,9 +204,11 @@ func (e *Engine) At(t Time, fn func()) {
 // (built with ChanKey). Channels use it so that same-instant delivery
 // order depends only on the model's wiring, never on which engine
 // scheduled the event. The caller must keep (t, key) pairs unique.
+//
+//hmcsim:hotpath
 func (e *Engine) AtKey(t Time, key uint64, fn func()) {
 	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+		scheduleInPast(t, e.now)
 	}
 	e.push(event{at: t, key: key, fn: fn})
 }
@@ -204,6 +219,8 @@ func (e *Engine) AtKey(t Time, key uint64, fn func()) {
 // mailboxes, to be merged into dst's heap at the next window barrier.
 // Cross-shard times must be at least one lockstep window in the future,
 // which channel latencies guarantee by construction.
+//
+//hmcsim:hotpath
 func (e *Engine) CrossAt(dst *Engine, t Time, key uint64, fn func()) {
 	if dst == e || e.g == nil {
 		dst.AtKey(t, key, fn)
@@ -217,6 +234,8 @@ func (e *Engine) CrossAt(dst *Engine, t Time, key uint64, fn func()) {
 
 // push appends ev and sifts it up. The hole-then-place form moves each
 // displaced parent once instead of swapping.
+//
+//hmcsim:hotpath
 func (e *Engine) push(ev event) {
 	pq := append(e.pq, ev)
 	i := len(pq) - 1
@@ -233,6 +252,8 @@ func (e *Engine) push(ev event) {
 }
 
 // pop removes and returns the minimum event.
+//
+//hmcsim:hotpath
 func (e *Engine) pop() event {
 	pq := e.pq
 	root := pq[0]
@@ -271,6 +292,8 @@ func (e *Engine) pop() event {
 }
 
 // Step executes the next event, if any, and reports whether one ran.
+//
+//hmcsim:hotpath
 func (e *Engine) Step() bool {
 	if len(e.pq) == 0 {
 		return false
@@ -317,6 +340,8 @@ func (e *Engine) Interrupted() bool { return e.interrupted }
 // checkpoint counts down to the next installed checkpoint and reports
 // whether the loop should stop. Hot-path shape: the common case is two
 // compares and a decrement.
+//
+//hmcsim:hotpath
 func (e *Engine) checkpoint() (stop bool) {
 	if e.ckEvery == 0 {
 		return false
@@ -390,10 +415,14 @@ type Timer struct {
 func (e *Engine) NewTimer(fn func()) *Timer { return &Timer{eng: e, fn: fn} }
 
 // At schedules the timer's callback at absolute time t.
+//
+//hmcsim:hotpath
 func (t *Timer) At(at Time) { t.eng.At(at, t.fn) }
 
 // After schedules the timer's callback delay from now. A negative delay
 // is treated as zero.
+//
+//hmcsim:hotpath
 func (t *Timer) After(delay Time) { t.eng.Schedule(delay, t.fn) }
 
 // Clock describes a fixed-frequency clock domain and converts between

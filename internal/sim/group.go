@@ -203,6 +203,8 @@ func (g *Group) observeLookahead(d Time) {
 
 // post appends a cross-shard event to the src→dst mailbox of the
 // current window's parity. Only shard src's goroutine calls this.
+//
+//hmcsim:hotpath
 func (g *Group) post(src, dst int, at Time, key uint64, fn func()) {
 	b := &g.boxes[g.par[src]][src][dst]
 	*b = append(*b, crossEvent{at: at, key: key, fn: fn})
@@ -263,6 +265,7 @@ func (g *Group) run(hub *Engine, until Time, drain bool) Time {
 	var wg sync.WaitGroup
 	for i := 1; i < len(g.engines); i++ {
 		wg.Add(1)
+		//hmcsim:nondet-ok the Group lockstep machinery itself: shards join a sense-reversing barrier every window
 		go func(i int) {
 			// recoverShard is registered after Done so it runs first:
 			// the abort flag is fully published before the hub can
@@ -327,6 +330,8 @@ func (g *Group) settleDrain() {
 // shardLoop drives one shard: execute a window, publish the safe-time
 // bound, meet the barrier, merge the inbox, repeat until the barrier
 // declares the run over.
+//
+//hmcsim:hotpath
 func (g *Group) shardLoop(i int) {
 	e := g.engines[i]
 	n := int32(len(g.engines))
@@ -338,11 +343,11 @@ func (g *Group) shardLoop(i int) {
 		e.outMin = maxTime
 		nf := e.nfired
 		if len(e.pq) > 0 && e.pq[0].at < wEnd && e.pq[0].at <= until {
-			start := time.Now()
+			start := time.Now() //hmcsim:nondet-ok busy-time telemetry; wall clock never feeds simulated state
 			for len(e.pq) > 0 && e.pq[0].at < wEnd && e.pq[0].at <= until {
 				e.Step()
 			}
-			d := int64(time.Since(start))
+			d := int64(time.Since(start)) //hmcsim:nondet-ok busy-time telemetry; wall clock never feeds simulated state
 			g.busy[i].Add(d)
 			globalShardBusy[i].Add(d)
 		}
@@ -358,7 +363,7 @@ func (g *Group) shardLoop(i int) {
 		// the sense to release everyone. The arrive-to-release span is
 		// the shard's barrier wait; for the last arriver that is the
 		// serial section it runs, keeping per-shard totals comparable.
-		bStart := time.Now()
+		bStart := time.Now() //hmcsim:nondet-ok barrier-stall telemetry; wall clock never feeds simulated state
 		sense ^= 1
 		if g.arrived.Add(1) == n {
 			g.windowBarrier()
@@ -374,7 +379,7 @@ func (g *Group) shardLoop(i int) {
 				}
 			}
 		}
-		wait := int64(time.Since(bStart))
+		wait := int64(time.Since(bStart)) //hmcsim:nondet-ok barrier-stall telemetry; wall clock never feeds simulated state
 		g.barrier[i].Add(wait)
 		globalShardBarrier[i].Add(wait)
 		g.trace.OnBarrierWait(i, int64(e.now), wait)
@@ -407,6 +412,8 @@ func (g *Group) shardLoop(i int) {
 // the cadence is due, then either declares the run over or opens the
 // next window at the global minimum event time (skipping empty time
 // wholesale, exactly like the serial engine's heap pop does).
+//
+//hmcsim:hotpath
 func (g *Group) windowBarrier() {
 	hub := g.engines[0]
 	if hub.ckEvery != 0 {

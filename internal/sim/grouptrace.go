@@ -46,7 +46,12 @@ type GroupShardTrace struct {
 }
 
 // Shard returns shard i's trace for reading after a run.
-func (t *GroupTracer) Shard(i int) *GroupShardTrace { return &t.shards[i] }
+func (t *GroupTracer) Shard(i int) *GroupShardTrace {
+	if t == nil {
+		return nil
+	}
+	return &t.shards[i]
+}
 
 // AttachTimeline routes shard i's window, mailbox and barrier-stall
 // samples onto tl (typically the shard's private timeline from
@@ -64,6 +69,8 @@ func (t *GroupTracer) AttachTimeline(shard int, tl *obs.Timeline) {
 
 // OnWindow records a completed execution window on shard, ending at
 // simulated time atPs, during which the shard fired `fired` events.
+//
+//hmcsim:hotpath
 func (t *GroupTracer) OnWindow(shard int, atPs int64, fired int) {
 	if t == nil {
 		return
@@ -75,6 +82,8 @@ func (t *GroupTracer) OnWindow(shard int, atPs int64, fired int) {
 
 // OnBarrierWait records one barrier passage on shard: waitNs wall-clock
 // nanoseconds from arrival to release, at simulated time atPs.
+//
+//hmcsim:hotpath
 func (t *GroupTracer) OnBarrierWait(shard int, atPs, waitNs int64) {
 	if t == nil {
 		return
@@ -86,6 +95,8 @@ func (t *GroupTracer) OnBarrierWait(shard int, atPs, waitNs int64) {
 
 // OnMerge records the post-barrier inbox merge on shard: merged
 // cross-shard events entered the heap at simulated time atPs.
+//
+//hmcsim:hotpath
 func (t *GroupTracer) OnMerge(shard int, atPs int64, merged int) {
 	if t == nil {
 		return
@@ -98,6 +109,8 @@ func (t *GroupTracer) OnMerge(shard int, atPs int64, merged int) {
 // OnWindowOpen records the barrier's serial section opening the next
 // window, having skipped skipPs picoseconds of empty simulated time.
 // Called with barrier exclusivity; never concurrent with itself.
+//
+//hmcsim:hotpath
 func (t *GroupTracer) OnWindowOpen(skipPs int64) {
 	if t == nil {
 		return

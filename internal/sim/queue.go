@@ -42,6 +42,8 @@ func (q *Queue[T]) Empty() bool { return q.ring.Empty() }
 
 // Push appends v and reports whether it was accepted. Callers use the
 // boolean to model back-pressure; a false return leaves the queue unchanged.
+//
+//hmcsim:hotpath
 func (q *Queue[T]) Push(now Time, v T) bool {
 	if q.Full() {
 		return false
@@ -57,6 +59,8 @@ func (q *Queue[T]) Push(now Time, v T) bool {
 
 // Pop removes and returns the head element. The boolean is false when the
 // queue is empty.
+//
+//hmcsim:hotpath
 func (q *Queue[T]) Pop(now Time) (T, bool) {
 	var zero T
 	if q.ring.Empty() {
@@ -75,6 +79,8 @@ func (q *Queue[T]) Peek() (T, bool) { return q.ring.Peek() }
 func (q *Queue[T]) At(i int) T { return q.ring.At(i) }
 
 // RemoveAt removes and returns the i-th element from the head.
+//
+//hmcsim:hotpath
 func (q *Queue[T]) RemoveAt(now Time, i int) T {
 	v := q.ring.At(i) // range-check before touching the stats
 	q.account(now)
@@ -83,6 +89,7 @@ func (q *Queue[T]) RemoveAt(now Time, i int) T {
 	return v
 }
 
+//hmcsim:hotpath
 func (q *Queue[T]) account(now Time) {
 	if !q.statsInit {
 		q.statsInit = true
@@ -129,6 +136,8 @@ type Waiters struct {
 }
 
 // Add registers fn for the next Fire.
+//
+//hmcsim:hotpath
 func (w *Waiters) Add(fn func()) { w.list = append(w.list, fn) }
 
 // Empty reports whether no callbacks are registered.
@@ -136,6 +145,8 @@ func (w *Waiters) Empty() bool { return len(w.list) == 0 }
 
 // Fire runs the registered callbacks in registration order. Callbacks
 // registered while firing wait for the next Fire.
+//
+//hmcsim:hotpath
 func (w *Waiters) Fire() {
 	if len(w.list) == 0 {
 		return
@@ -176,6 +187,8 @@ func (p *TokenPool) Available() int { return p.available }
 func (p *TokenPool) MinAvailable() int { return p.minAvail }
 
 // TryAcquire takes n tokens if they are all available.
+//
+//hmcsim:hotpath
 func (p *TokenPool) TryAcquire(n int) bool {
 	if n > p.available {
 		return false
@@ -190,6 +203,8 @@ func (p *TokenPool) TryAcquire(n int) bool {
 // Release returns n tokens and wakes waiters registered with Notify.
 // Waiters registered during a callback — the usual retry-and-reblock
 // pattern — wait for the next Release.
+//
+//hmcsim:hotpath
 func (p *TokenPool) Release(n int) {
 	p.available += n
 	if p.available > p.total {
@@ -200,4 +215,6 @@ func (p *TokenPool) Release(n int) {
 
 // Notify registers fn to run on the next Release. Components use this to
 // retry a blocked injection without polling.
+//
+//hmcsim:hotpath
 func (p *TokenPool) Notify(fn func()) { p.waiters.Add(fn) }

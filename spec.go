@@ -18,7 +18,9 @@ import (
 // Options.Workers is deliberately excluded (json:"-"): it changes only
 // wall-clock time, never results, so it must not split the cache.
 type Spec struct {
-	Exp     string  `json:"exp"`
+	//hmcsim:speckey-ok founding key field: every cached result already keys on it
+	Exp string `json:"exp"`
+	//hmcsim:speckey-ok founding key field: every cached result already keys on it
 	Options Options `json:"options"`
 }
 
