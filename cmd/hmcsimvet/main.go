@@ -1,0 +1,64 @@
+// Command hmcsimvet runs the project's static-analysis suite
+// (internal/analysis): determinism, nilhook, speckey and hotpath.
+//
+// It speaks the `go vet -vettool=` driver protocol, so the usual way to
+// run it over the whole tree is:
+//
+//	go install ./cmd/hmcsimvet
+//	go vet -vettool=$(go env GOPATH)/bin/hmcsimvet ./...
+//
+// It can also run standalone, loading packages itself:
+//
+//	go run ./cmd/hmcsimvet ./...
+//
+// Diagnostics print in file:line:col form; the exit status is 1 when
+// there are findings.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"hmcsim/internal/analysis"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// `go vet` probes its vettool before use: `-V=full` for the tool ID
+	// that keys the build cache, `-flags` for the JSON list of flags the
+	// tool accepts (this suite has none — configuration is source
+	// annotations, not flags).
+	for _, a := range args {
+		switch {
+		case a == "-V" || strings.HasPrefix(a, "-V="):
+			fmt.Println("hmcsimvet version v1.0.0")
+			return
+		case a == "-flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+
+	// Driver mode: a single *.cfg argument describing one compilation
+	// unit, per the vet driver protocol.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(analysis.RunUnit(args[0]))
+	}
+
+	// Standalone mode: load the named patterns (default ./...) and run
+	// the whole suite.
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	n, err := analysis.RunStandalone(os.Stdout, ".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hmcsimvet: %v\n", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		os.Exit(1)
+	}
+}

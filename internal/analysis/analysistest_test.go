@@ -1,0 +1,128 @@
+package analysis
+
+// The fixture harness mirrors golang.org/x/tools/go/analysis/analysistest:
+// fixture packages under testdata/src/ carry trailing
+//
+//	// want `regexp`
+//
+// comments on the lines where an analyzer must report (several
+// backquoted regexps may share one comment when a line gets several
+// findings), and the test fails on any unexpected diagnostic and any
+// unmatched expectation. The fixtures are real compilable packages —
+// the loader typechecks them with full export data — because the
+// analyzers are type-driven.
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var wantPatternRE = regexp.MustCompile("`([^`]+)`")
+
+type wantExpectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+func collectWants(t *testing.T, pkg *Package) []*wantExpectation {
+	t.Helper()
+	var wants []*wantExpectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				i := strings.Index(c.Text, "// want ")
+				if i < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				specs := wantPatternRE.FindAllStringSubmatch(c.Text[i:], -1)
+				if len(specs) == 0 {
+					t.Fatalf("%s: want comment carries no backquoted pattern: %s", pos, c.Text)
+				}
+				for _, m := range specs {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, m[1], err)
+					}
+					wants = append(wants, &wantExpectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture checks one analyzer against one fixture package pattern.
+func runFixture(t *testing.T, a *Analyzer, pattern string) {
+	t.Helper()
+	pkgs, err := Load(".", pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages matched %s", pattern)
+	}
+	for _, pkg := range pkgs {
+		wants := collectWants(t, pkg)
+		diags, err := RunPackage(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, []*Analyzer{a})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			matched := false
+			for _, w := range wants {
+				if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+					w.matched = true
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("unexpected diagnostic at %s: %s", pos, d.Message)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matched `%s`", w.file, w.line, w.re)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) { runFixture(t, Determinism, "./testdata/src/sim") }
+
+func TestNilHook(t *testing.T) { runFixture(t, NilHook, "./testdata/src/obs") }
+
+func TestSpecKey(t *testing.T) {
+	runFixture(t, SpecKey, "./testdata/src/hmcsim")
+	runFixture(t, SpecKey, "./testdata/src/traffic")
+}
+
+func TestHotPath(t *testing.T) { runFixture(t, HotPath, "./testdata/src/hot") }
+
+// TestCleanTree runs the whole suite over the whole module the same way
+// CI's `go vet -vettool` step does, and requires zero findings. Any new
+// violation in the tree fails here first, with the same message the vet
+// step would print.
+func TestCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the entire module")
+	}
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		diags, err := RunPackage(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: %s", pkg.Fset.Position(d.Pos), d.Message)
+		}
+	}
+}

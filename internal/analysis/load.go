@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+}
+
+// Load type-checks the packages matching patterns (resolved in dir) and
+// returns them ready for analysis. It shells out to `go list -export
+// -deps`, which compiles export data for every dependency into the
+// build cache, then type-checks only the target packages from source —
+// the same division of labor the `go vet` driver uses, without needing
+// golang.org/x/tools/go/packages. Works fully offline: this module has
+// no dependencies outside the standard library.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Export,DepOnly",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+
+	exports := make(map[string]string)
+	var targets []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", patterns, err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, func(path string) (string, bool) {
+		f, ok := exports[path]
+		return f, ok
+	})
+	var pkgs []*Package
+	for _, p := range targets {
+		filenames := make([]string, len(p.GoFiles))
+		for i, name := range p.GoFiles {
+			filenames[i] = filepath.Join(p.Dir, name)
+		}
+		pkg, err := typecheck(fset, p.ImportPath, filenames, imp, "")
+		if err != nil {
+			return nil, err
+		}
+		pkg.Dir = p.Dir
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// exportImporter builds a types.Importer that reads gc export data
+// located by the lookup function, handling "unsafe" specially (it has
+// no export data; its types are wired into go/types).
+func exportImporter(fset *token.FileSet, lookup func(path string) (string, bool)) types.Importer {
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := lookup(path)
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	return importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return gc.Import(path)
+	})
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// typecheck parses and type-checks one package. Comments are kept: the
+// suite's directives live in them.
+func typecheck(fset *token.FileSet, importPath string, filenames []string, imp types.Importer, goVersion string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: goVersion,
+	}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", importPath, err)
+	}
+	return &Package{
+		Path:  importPath,
+		Fset:  fset,
+		Files: files,
+		Types: pkg,
+		Info:  info,
+	}, nil
+}
+
+// RunStandalone loads patterns, runs the whole suite, and prints
+// findings to w in the canonical file:line:col form. It returns the
+// number of findings.
+func RunStandalone(w io.Writer, dir string, patterns []string) (int, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+	for _, pkg := range pkgs {
+		diags, err := RunPackage(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, All())
+		if err != nil {
+			return count, err
+		}
+		for _, d := range diags {
+			fmt.Fprintf(w, "%s: %s\n", pkg.Fset.Position(d.Pos), d.Message)
+			count++
+		}
+	}
+	return count, nil
+}

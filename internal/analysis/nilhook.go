@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// tracerPackages names (by final import path element) the packages
+// whose tracer types are compiled into kernel hot paths as
+// possibly-nil pointers.
+var tracerPackages = map[string]bool{
+	"obs": true,
+	"sim": true,
+}
+
+// NilHook enforces the zero-cost-when-off tracing convention: kernel
+// components hold plain possibly-nil tracer pointers and call hooks
+// unconditionally, so every exported method on a tracer type must be
+// safe on a nil receiver.
+var NilHook = &Analyzer{
+	Name: "nilhook",
+	Doc: `require nil-receiver guards on tracer hook methods
+
+In internal/obs and internal/sim, every exported method on a pointer
+receiver whose type is a tracer (name ending in Tracer, Trace or Track,
+or the Timeline type) must begin with
+
+	if t == nil { return ... }
+
+(possibly as one arm of a compound condition such as t == nil || x ==
+nil). Components call these hooks unconditionally on possibly-nil
+pointers; a single unguarded method turns every tracerless build into a
+panic. There is no escape hatch: the guard is always correct.`,
+	Run: runNilHook,
+}
+
+// isTracerTypeName reports whether a receiver base type is covered by
+// the nil-hook convention.
+func isTracerTypeName(name string) bool {
+	return strings.HasSuffix(name, "Tracer") ||
+		strings.HasSuffix(name, "Trace") ||
+		strings.HasSuffix(name, "Track") ||
+		name == "Timeline"
+}
+
+func runNilHook(pass *Pass) error {
+	if !pass.InKernelScope() || !tracerPackages[pass.Segment()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			recvName, typeName, ptr := receiver(fn)
+			if !ptr || recvName == "" || recvName == "_" || !isTracerTypeName(typeName) {
+				continue
+			}
+			if beginsWithNilGuard(fn.Body, recvName) {
+				continue
+			}
+			pass.Reportf(fn.Name.Pos(),
+				"nilhook: exported method (*%s).%s must begin with `if %s == nil { return ... }`; "+
+					"tracer hooks are called unconditionally on possibly-nil receivers",
+				typeName, fn.Name.Name, recvName)
+		}
+	}
+	return nil
+}
+
+// receiver extracts the receiver name, base type name, and whether the
+// receiver is a pointer.
+func receiver(fn *ast.FuncDecl) (recvName, typeName string, ptr bool) {
+	if len(fn.Recv.List) != 1 {
+		return "", "", false
+	}
+	field := fn.Recv.List[0]
+	if len(field.Names) == 1 {
+		recvName = field.Names[0].Name
+	}
+	t := field.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		ptr = true
+		t = star.X
+	}
+	// Tracer types are plain (non-generic) structs; an IndexExpr
+	// receiver would be a generic type, which the convention does not
+	// cover.
+	if id, ok := t.(*ast.Ident); ok {
+		typeName = id.Name
+	}
+	return recvName, typeName, ptr
+}
+
+// beginsWithNilGuard reports whether the first statement of body is an
+// if whose condition checks recvName == nil (alone or as an || arm) and
+// whose block ends in a return.
+func beginsWithNilGuard(body *ast.BlockStmt, recvName string) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	guard, ok := body.List[0].(*ast.IfStmt)
+	if !ok || guard.Init != nil {
+		return false
+	}
+	if !condChecksNil(guard.Cond, recvName) {
+		return false
+	}
+	n := len(guard.Body.List)
+	if n == 0 {
+		return false
+	}
+	_, returns := guard.Body.List[n-1].(*ast.ReturnStmt)
+	return returns
+}
+
+// condChecksNil walks || chains looking for `recvName == nil` (either
+// operand order). A guard that also checks other pointers, like
+// `t == nil || tl == nil`, still protects the receiver: any true arm
+// returns.
+func condChecksNil(cond ast.Expr, recvName string) bool {
+	switch e := cond.(type) {
+	case *ast.ParenExpr:
+		return condChecksNil(e.X, recvName)
+	case *ast.BinaryExpr:
+		switch e.Op.String() {
+		case "||":
+			return condChecksNil(e.X, recvName) || condChecksNil(e.Y, recvName)
+		case "==":
+			return isIdentNamed(e.X, recvName) && isNilIdent(e.Y) ||
+				isIdentNamed(e.Y, recvName) && isNilIdent(e.X)
+		}
+	}
+	return false
+}
+
+func isIdentNamed(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}

@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"go/ast"
+	"reflect"
+	"strconv"
+	"strings"
+)
+
+// specKeyRoots names, per package (by final import path element), the
+// struct types whose canonical JSON is the fleet cache's content key.
+// The analyzer walks the closure of same-package struct types reachable
+// from these roots; hmcsim.TrafficSpec is an alias for traffic.Spec, so
+// the traffic half of the closure is checked in its home package, where
+// its escape-hatch directives live.
+var specKeyRoots = map[string][]string{
+	"hmcsim":  {"Spec", "Options"},
+	"traffic": {"Spec", "Phase"},
+}
+
+// SpecKey protects the content-addressed result cache: the SHA-256 of a
+// Spec's canonical JSON is the key every daemon and the whole fleet
+// shard on, so a new always-serialized field silently changes the key
+// of every spec that predates it — a fleet-wide cold cache with no
+// error anywhere.
+var SpecKey = &Analyzer{
+	Name: "speckey",
+	Doc: `require json:"-" or omitempty on fields in the Spec cache-key closure
+
+Every field of hmcsim.Spec, hmcsim.Options, traffic.Spec, traffic.Phase
+— and of any same-package struct reachable from them through exported
+fields — must carry a json tag that is either "-" (excluded from the
+key) or contains omitempty (absent from the key until a caller sets it,
+so pre-existing specs keep their keys). Founding fields that have always
+been part of the key carry a //hmcsim:speckey-ok <reason> directive.`,
+	Run: runSpecKey,
+}
+
+func runSpecKey(pass *Pass) error {
+	if !pass.InKernelScope() {
+		return nil
+	}
+	roots := specKeyRoots[pass.Segment()]
+	if len(roots) == 0 {
+		return nil
+	}
+
+	// Index the package's struct type declarations by name.
+	structs := make(map[string]*ast.StructType)
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			gen, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gen.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if st, ok := ts.Type.(*ast.StructType); ok {
+					structs[ts.Name.Name] = st
+				}
+			}
+		}
+	}
+
+	// Walk the closure of key-contributing structs from the roots.
+	seen := make(map[string]bool)
+	queue := append([]string(nil), roots...)
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		st, ok := structs[name]
+		if !ok {
+			continue
+		}
+		for _, field := range st.Fields.List {
+			queue = append(queue, checkSpecField(pass, name, field)...)
+		}
+	}
+	return nil
+}
+
+// checkSpecField validates one struct field's json tag and returns the
+// names of same-package struct types the field pulls into the key
+// closure. Fields excluded from JSON contribute nothing.
+func checkSpecField(pass *Pass, structName string, field *ast.Field) (reach []string) {
+	// Embedded fields inline their type's fields into the JSON object;
+	// the embedded struct joins the closure and the embed itself needs
+	// no tag.
+	if len(field.Names) == 0 {
+		return structFieldTypes(pass, field.Type)
+	}
+	exported := false
+	for _, name := range field.Names {
+		if name.IsExported() {
+			exported = true
+		}
+	}
+	if !exported {
+		return nil // unexported fields never marshal
+	}
+
+	jsonTag, ok := "", false
+	if field.Tag != nil {
+		if raw, err := strconv.Unquote(field.Tag.Value); err == nil {
+			jsonTag, ok = reflect.StructTag(raw).Lookup("json")
+		}
+	}
+	if jsonTag == "-" {
+		return nil // excluded from the key entirely
+	}
+	_, opts, _ := strings.Cut(jsonTag, ",")
+	omitempty := false
+	for _, opt := range strings.Split(opts, ",") {
+		if opt == "omitempty" {
+			omitempty = true
+		}
+	}
+	if !ok || !omitempty {
+		pass.suppress("speckey-ok", Diagnostic{
+			Pos: field.Pos(),
+			Message: "speckey: field " + structName + "." + field.Names[0].Name +
+				" is in the Spec cache-key closure and is always serialized; tag it json:\"-\" or " +
+				"omitempty so existing specs keep their content keys",
+		})
+	}
+	return structFieldTypes(pass, field.Type)
+}
+
+// structFieldTypes returns the same-package named struct types that a
+// field type references, looking through pointers, slices, arrays and
+// map values.
+func structFieldTypes(pass *Pass, t ast.Expr) []string {
+	switch t := t.(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[t]; obj != nil && obj.Pkg() == pass.Pkg {
+			return []string{t.Name}
+		}
+	case *ast.StarExpr:
+		return structFieldTypes(pass, t.X)
+	case *ast.ArrayType:
+		return structFieldTypes(pass, t.Elt)
+	case *ast.MapType:
+		return append(structFieldTypes(pass, t.Key), structFieldTypes(pass, t.Value)...)
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+// Package hmcsim is the analysistest fixture for the speckey analyzer:
+// fields in the closure of the Spec/Options cache-key structs must be
+// json:"-" or omitempty, with //hmcsim:speckey-ok <reason> as the
+// founding-field escape hatch.
+package hmcsim
+
+// Spec is a key root.
+type Spec struct {
+	Base
+
+	//hmcsim:speckey-ok founding key field, serialized since the first release
+	Name string `json:"name"`
+
+	Workers  int     `json:"-"`
+	Label    string  `json:"label,omitempty"`
+	Options  Options `json:"options,omitempty"`
+	Bad      int     `json:"bad"` // want `speckey: field Spec\.Bad is in the Spec cache-key closure`
+	Untagged int     // want `speckey: field Spec\.Untagged is in the Spec cache-key closure`
+	hidden   int
+	Nested   *Nested `json:"nested,omitempty"`
+
+	//hmcsim:speckey-ok
+	Legacy int `json:"legacy"` // want `needs a reason to suppress`
+}
+
+// Options is a key root.
+type Options struct {
+	Depth int  `json:"depth"` // want `speckey: field Options\.Depth is in the Spec cache-key closure`
+	Quick bool `json:"quick,omitempty"`
+}
+
+// Base joins the closure as an embedded field of Spec: its fields
+// inline into Spec's JSON object.
+type Base struct {
+	Core int `json:"core"` // want `speckey: field Base\.Core is in the Spec cache-key closure`
+}
+
+// Nested joins the closure through Spec.Nested.
+type Nested struct {
+	Inner int `json:"inner"` // want `speckey: field Nested\.Inner is in the Spec cache-key closure`
+	Fine  int `json:"fine,omitempty"`
+}
+
+// Unreachable is not part of any key; its always-serialized field is
+// its own business.
+type Unreachable struct {
+	Field int `json:"field"`
+}

@@ -1,0 +1,82 @@
+// Package hot is the analysistest fixture for the hotpath analyzer:
+// functions annotated //hmcsim:hotpath must not build capturing
+// closures, call fmt, concatenate strings, or box concrete values into
+// interfaces. Unannotated functions may do all of it.
+package hot
+
+import "fmt"
+
+type sink interface{ Accept(int) }
+
+type counter int
+
+func (c counter) Accept(int) {}
+
+type ring struct {
+	buf      []int
+	callback func()
+	out      any
+}
+
+func box(v any) { _ = v }
+
+//hmcsim:hotpath
+func (r *ring) push(v int) {
+	r.buf = append(r.buf, v)
+	f := func() { r.buf = r.buf[:0] } // want `hotpath: closure captures r and allocates per call`
+	r.callback = f
+	fmt.Println(v) // want `hotpath: fmt\.Println allocates`
+}
+
+//hmcsim:hotpath
+func label(name, id string) string {
+	return name + id // want `hotpath: string concatenation allocates`
+}
+
+//hmcsim:hotpath
+func (r *ring) record(v int) {
+	box(v)    // want `hotpath: argument boxes int into`
+	r.out = v // want `hotpath: assignment boxes int into`
+}
+
+//hmcsim:hotpath
+func declare(c counter) {
+	var s sink = c // want `hotpath: declaration boxes`
+	_ = s
+}
+
+//hmcsim:hotpath
+func wrap(c counter) sink {
+	return c // want `hotpath: return boxes`
+}
+
+// bind installs a non-capturing closure: those compile to a static
+// function value and do not allocate.
+//
+//hmcsim:hotpath
+func (r *ring) bind() {
+	r.callback = func() {}
+}
+
+// check exercises the exemptions: builtins (panic is cold by
+// definition), conversions, untyped nil, and interface-to-interface
+// assignment never box.
+//
+//hmcsim:hotpath
+func (r *ring) check(i int, s sink) {
+	if i < 0 {
+		panic(i)
+	}
+	_ = int64(i)
+	r.out = nil
+	r.out = s
+}
+
+// cold has every violation but no annotation, so nothing is reported.
+func cold(r *ring, v int) {
+	fmt.Println(v)
+	box(v)
+	r.out = v
+	f := func() { r.buf = nil }
+	f()
+}

@@ -1,0 +1,75 @@
+// Package obs is the analysistest fixture for the nilhook analyzer:
+// exported pointer-receiver methods on tracer-named types must begin
+// with a nil-receiver guard. There is no escape hatch.
+package obs
+
+// VaultTracer matches the *Tracer naming convention.
+type VaultTracer struct {
+	n  int
+	tl *Timeline
+}
+
+// Timeline is covered by name.
+type Timeline struct{ n int }
+
+// Collector does not match any tracer naming convention, so its
+// methods are exempt.
+type Collector struct{ n int }
+
+// OnRead is correctly guarded.
+func (t *VaultTracer) OnRead(addr uint64) {
+	if t == nil {
+		return
+	}
+	t.n++
+}
+
+func (t *VaultTracer) OnWrite(addr uint64) { // want `nilhook: exported method \(\*VaultTracer\)\.OnWrite must begin with`
+	t.n++
+}
+
+// OnFlush guards two pointers in one condition; any true arm returns,
+// so the receiver is protected.
+func (t *VaultTracer) OnFlush() {
+	if t == nil || t.tl == nil {
+		return
+	}
+	t.tl.n++
+}
+
+func (t *VaultTracer) OnEvict(addr uint64) { // want `nilhook: exported method \(\*VaultTracer\)\.OnEvict must begin with`
+	t.n++
+	if t == nil {
+		return
+	}
+}
+
+func (t *VaultTracer) OnReset() { // want `nilhook: exported method \(\*VaultTracer\)\.OnReset must begin with`
+	if t == nil {
+		println("nil tracer")
+	}
+	t.n = 0
+}
+
+// Snapshot has a value receiver: nil cannot reach it.
+func (t VaultTracer) Snapshot() int { return t.n }
+
+// bump is unexported: only package-internal callers, which hold the
+// guard obligation themselves.
+func (t *VaultTracer) bump() { t.n++ }
+
+// Count guards and returns a zero value, the accessor form of the
+// convention.
+func (tl *Timeline) Count() int {
+	if tl == nil {
+		return 0
+	}
+	return tl.n
+}
+
+func (tl *Timeline) Add(v int) { // want `nilhook: exported method \(\*Timeline\)\.Add must begin with`
+	tl.n += v
+}
+
+// Inc is exported on a non-tracer type; the convention does not apply.
+func (c *Collector) Inc() { c.n++ }

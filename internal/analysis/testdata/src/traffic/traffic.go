@@ -1,0 +1,20 @@
+// Package traffic is the analysistest fixture for the speckey
+// analyzer's traffic-package root set (Spec, Phase). The real
+// hmcsim.TrafficSpec is an alias for traffic.Spec, so this half of the
+// key closure is checked in its home package.
+package traffic
+
+// Spec is a key root.
+type Spec struct {
+	Phases []Phase `json:"phases,omitempty"`
+}
+
+// Phase is a key root (and also reachable through Spec.Phases).
+type Phase struct {
+	Pattern string `json:"pattern,omitempty"`
+
+	//hmcsim:speckey-ok founding field; every stored spec already carries it
+	DurationUs float64 `json:"durationUs"`
+
+	Rate float64 `json:"rate"` // want `speckey: field Phase\.Rate is in the Spec cache-key closure`
+}

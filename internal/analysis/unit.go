@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+)
+
+// unitConfig mirrors the JSON config file `go vet -vettool=` hands the
+// analysis tool for each compilation unit. The field set is the
+// (unpublished but stable) vet driver protocol, as implemented by
+// cmd/go and golang.org/x/tools/go/analysis/unitchecker; only the
+// fields this suite consumes are listed.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string // import path as written → package path
+	PackageFile               map[string]string // package path → export data file
+	VetxOnly                  bool              // facts-only run on a dependency
+	VetxOutput                string            // where the driver expects the facts file
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit analyzes the single compilation unit described by cfgFile
+// (the `go vet -vettool=` protocol), printing diagnostics to stderr in
+// file:line:col form. It returns the process exit code: 1 if there were
+// findings, 0 otherwise. The suite carries no cross-package facts, so
+// the facts output the driver expects is written empty, and VetxOnly
+// runs (dependencies vetted purely for facts) do no analysis at all.
+func RunUnit(cfgFile string) int {
+	cfg, err := readUnitConfig(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hmcsimvet: %v\n", err)
+		return 1
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "hmcsimvet: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, func(path string) (string, bool) {
+		f, ok := cfg.PackageFile[path]
+		return f, ok
+	})
+	// Imports in source are spelled as import paths; the export data is
+	// keyed by resolved package path.
+	resolving := importerFunc(func(path string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		return imp.Import(path)
+	})
+	pkg, err := typecheck(fset, cfg.ImportPath, cfg.GoFiles, resolving, cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0 // the compiler proper will report this better
+		}
+		fmt.Fprintf(os.Stderr, "hmcsimvet: %v\n", err)
+		return 1
+	}
+	diags, err := RunPackage(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hmcsimvet: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func readUnitConfig(cfgFile string) (*unitConfig, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(unitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode vet config %s: %v", filepath.Base(cfgFile), err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return nil, fmt.Errorf("package %s has no files", cfg.ImportPath)
+	}
+	return cfg, nil
+}
